@@ -1,0 +1,17 @@
+"""Helpers shared by the benchmark modules (kept out of conftest so test
+modules can import them by name)."""
+
+from __future__ import annotations
+
+#: Rank used by measured benchmark kernels (paper uses 35; 16 keeps the
+#: interpreted ladders fast while staying in the same regime).
+BENCH_RANK = 16
+
+
+def print_experiment(exp_id: str, **kwargs) -> None:
+    """Regenerate and print one paper experiment (shown under ``-s``)."""
+    from repro.bench.runner import get_experiment
+
+    result = get_experiment(exp_id)(**kwargs)
+    print()
+    print(result.render())

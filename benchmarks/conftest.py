@@ -1,0 +1,56 @@
+"""Shared fixtures for the pytest-benchmark harness.
+
+Each ``benchmarks/test_*.py`` regenerates one of the paper's tables or
+figures: it wall-clocks the real kernels that experiment exercises (the
+``benchmark`` fixture), prints the paper-scale simulated series, and
+asserts the experiment's shape criteria (DESIGN.md §4).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Heavier interpreted kernels use ``benchmark.pedantic`` with few rounds; the
+whole suite is sized to finish in a few minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _bench_utils import BENCH_RANK
+from repro._util import as_rng
+from repro.bench.datasets import bench_dataset
+from repro.csf.build import build_csf_set
+
+
+@pytest.fixture(scope="session")
+def yelp_tensor():
+    return bench_dataset("yelp")
+
+
+@pytest.fixture(scope="session")
+def nell2_tensor():
+    return bench_dataset("nell-2")
+
+
+@pytest.fixture(scope="session")
+def yelp_csf(yelp_tensor):
+    return build_csf_set(yelp_tensor, allocation="two")
+
+
+@pytest.fixture(scope="session")
+def nell2_csf(nell2_tensor):
+    return build_csf_set(nell2_tensor, allocation="two")
+
+
+@pytest.fixture(scope="session")
+def yelp_factors(yelp_tensor):
+    rng = as_rng(0)
+    return [np.asarray(rng.random((d, BENCH_RANK))) for d in yelp_tensor.dims]
+
+
+@pytest.fixture(scope="session")
+def nell2_factors(nell2_tensor):
+    rng = as_rng(0)
+    return [np.asarray(rng.random((d, BENCH_RANK))) for d in nell2_tensor.dims]

@@ -1,0 +1,68 @@
+"""Ablation: CSF allocation policy and mode ordering.
+
+SPLATT's one/two/all-mode allocation trades memory for MTTKRP speed (more
+trees → every mode gets the lock-free root algorithm), and the
+smallest-mode-first ordering maximizes prefix sharing.  These benchmarks
+quantify both on the YELP stand-in.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import BENCH_RANK
+from repro._util import as_rng
+from repro.csf.build import build_csf, build_csf_set
+from repro.csf.permute import mode_order
+from repro.mttkrp.variants import mttkrp_csf
+
+
+@pytest.mark.parametrize("allocation", ["one", "two", "all"])
+def test_ablation_allocation_mttkrp(benchmark, yelp_tensor, allocation):
+    """Full-sweep MTTKRP cost under each allocation policy."""
+    csf_set = build_csf_set(yelp_tensor, allocation=allocation)
+    rng = as_rng(0)
+    factors = [np.asarray(rng.random((d, BENCH_RANK))) for d in yelp_tensor.dims]
+
+    def sweep():
+        for mode in range(3):
+            mttkrp_csf(csf_set, factors, mode)
+
+    benchmark(sweep)
+
+
+def test_ablation_allocation_memory(benchmark, yelp_tensor):
+    """The memory side of the trade: one < two < all, with 'all' roughly
+    linear in the tree count."""
+    sizes = benchmark.pedantic(
+        lambda: {
+            a: build_csf_set(yelp_tensor, allocation=a).memory_bytes()
+            for a in ("one", "two", "all")
+        },
+        rounds=1, iterations=1,
+    )
+    assert sizes["one"] < sizes["two"] < sizes["all"]
+    assert sizes["all"] < 3.5 * sizes["one"]
+
+
+@pytest.mark.parametrize("ordering", ["sorted_smallest", "sorted_biggest", "inorder"])
+def test_ablation_mode_ordering_build(benchmark, yelp_tensor, ordering):
+    """CSF construction cost under each mode ordering."""
+    perm = mode_order(yelp_tensor.dims, ordering=ordering)
+    benchmark.pedantic(
+        lambda: build_csf(yelp_tensor, perm), rounds=3, iterations=1
+    )
+
+
+def test_ablation_smallest_first_compresses_best(benchmark, yelp_tensor):
+    """Smallest-mode-first gives the fewest upper-level nodes (max prefix
+    sharing) — the rationale for SPLATT's default."""
+    def upper_nodes(ordering):
+        perm = mode_order(yelp_tensor.dims, ordering=ordering)
+        csf = build_csf(yelp_tensor, perm)
+        return sum(csf.nfibs[:-1])  # all non-leaf levels
+
+    counts = benchmark.pedantic(
+        lambda: (upper_nodes("sorted_smallest"), upper_nodes("sorted_biggest")),
+        rounds=1, iterations=1,
+    )
+    assert counts[0] <= counts[1]

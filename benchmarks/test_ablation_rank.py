@@ -1,0 +1,66 @@
+"""Ablation: decomposition rank vs kernel cost.
+
+The paper fixes R=35 throughout; these benchmarks sweep the rank to show
+the expected linear MTTKRP scaling (work is R per nonzero) and the
+quadratic/cubic growth of the dense kernels (R² Grams, R³ Cholesky).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro._util import as_rng
+from repro.linalg.ata import gram, hadamard_gram
+from repro.linalg.inverse import solve_normal_equations
+from repro.mttkrp.variants import mttkrp_csf
+
+RANKS = (4, 8, 16, 32)
+
+
+@pytest.mark.parametrize("rank", RANKS)
+def test_ablation_rank_mttkrp(benchmark, yelp_csf, yelp_tensor, rank):
+    rng = as_rng(0)
+    factors = [np.asarray(rng.random((d, rank))) for d in yelp_tensor.dims]
+
+    def sweep():
+        for mode in range(3):
+            mttkrp_csf(yelp_csf, factors, mode)
+
+    benchmark(sweep)
+
+
+@pytest.mark.parametrize("rank", RANKS)
+def test_ablation_rank_dense_kernels(benchmark, yelp_tensor, rank):
+    rng = as_rng(0)
+    factors = [np.asarray(rng.random((d, rank))) for d in yelp_tensor.dims]
+
+    def kernels():
+        grams = [gram(f) for f in factors]
+        v = hadamard_gram(factors, 0, grams=grams)
+        return solve_normal_equations(factors[0], v + np.eye(rank))
+
+    benchmark(kernels)
+
+
+def test_ablation_rank_scaling_is_subquadratic_for_mttkrp(benchmark, yelp_csf, yelp_tensor):
+    """Measured MTTKRP time grows ~linearly in R (not quadratically)."""
+    rng = as_rng(0)
+
+    def sweep():
+        times = {}
+        for rank in (8, 32):
+            factors = [np.asarray(rng.random((d, rank))) for d in yelp_tensor.dims]
+            best = float("inf")
+            for _ in range(5):
+                start = time.perf_counter()
+                for mode in range(3):
+                    mttkrp_csf(yelp_csf, factors, mode)
+                best = min(best, time.perf_counter() - start)
+            times[rank] = best
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # 4x rank should cost clearly less than the quadratic 4^2 = 16x
+    # (generous bound: timing noise under a loaded benchmark session)
+    assert times[32] / times[8] < 11

@@ -1,0 +1,62 @@
+"""Ablation: mode-index relabeling (SPLATT's reordering) and its effect.
+
+Relabeling changes no numerics — the measurable effects are the CSF node
+counts (prefix compression) and the MTTKRP kernel cost on the relabeled
+layout.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import BENCH_RANK
+from repro._util import as_rng
+from repro.csf.build import build_csf, build_csf_set
+from repro.mttkrp.variants import mttkrp_csf
+from repro.tensor.reorder import REORDER_STRATEGIES, reorder_tensor
+
+
+@pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+def test_reorder_then_build(benchmark, yelp_tensor, strategy):
+    """Relabel + CSF build cost per strategy."""
+    def run():
+        reordered, _ = reorder_tensor(yelp_tensor, strategy=strategy, seed=0)
+        return build_csf(reordered)
+
+    csf = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert csf.nnz == yelp_tensor.nnz
+
+
+@pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+def test_reorder_mttkrp_cost(benchmark, yelp_tensor, strategy):
+    """Full MTTKRP sweep on each relabeled layout."""
+    reordered, perms = reorder_tensor(yelp_tensor, strategy=strategy, seed=0)
+    csf_set = build_csf_set(reordered)
+    rng = as_rng(0)
+    factors = [np.asarray(rng.random((d, BENCH_RANK))) for d in reordered.dims]
+
+    def sweep():
+        for mode in range(3):
+            mttkrp_csf(csf_set, factors, mode)
+
+    benchmark(sweep)
+
+
+def test_reorder_numerics_invariant(benchmark, yelp_tensor):
+    """The decomposition seen through the inverse relabeling is identical."""
+    from repro.mttkrp.reference import dense_mttkrp_reference
+    from repro.tensor.generate import random_tensor
+
+    t = random_tensor((30, 25, 20), 800, seed=5)
+    rng = as_rng(1)
+    factors = [np.asarray(rng.random((d, 4))) for d in t.dims]
+
+    def check():
+        reordered, perms = reorder_tensor(t, strategy="degree")
+        relabeled = [f[p] for f, p in zip(factors, perms)]
+        for mode in range(3):
+            ref = dense_mttkrp_reference(t, factors, mode)
+            got = dense_mttkrp_reference(reordered, relabeled, mode)
+            np.testing.assert_allclose(got, ref[perms[mode]], atol=1e-10)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Ablation: loop schedules (static / dynamic / guided) on irregular work.
+
+Uses a GIL-releasing vectorized body (per-chunk root-mode MTTKRP over
+slice blocks), so dynamic scheduling can genuinely rebalance the skewed
+slice-size distribution across real threads.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import BENCH_RANK
+from repro._util import as_rng
+from repro.csf.build import build_csf_set
+from repro.mttkrp.csf_kernels import root_range_vectorized
+from repro.runtime.env import ChapelEnv
+from repro.runtime.schedule import SCHEDULES, forall_scheduled
+from repro.runtime.tasking import make_tasking_layer
+
+
+@pytest.fixture(scope="module")
+def workload(yelp_tensor):
+    csf_set = build_csf_set(yelp_tensor, allocation="all")
+    tree = csf_set.trees[0]
+    rng = as_rng(0)
+    factors = [np.asarray(rng.random((d, BENCH_RANK))) for d in yelp_tensor.dims]
+    return tree, factors
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES)
+@pytest.mark.parametrize("ntasks", [1, 4])
+def test_schedule_mttkrp(benchmark, workload, schedule, ntasks):
+    tree, factors = workload
+    layer = make_tasking_layer(ChapelEnv(num_tasks=ntasks))
+    out = np.zeros((tree.dims[tree.dim_perm[0]], BENCH_RANK))
+
+    def run():
+        out[:] = 0.0
+        forall_scheduled(
+            layer, tree.nslices,
+            lambda lo, hi, tid: root_range_vectorized(tree, factors, out, lo, hi),
+            schedule=schedule, chunk=16,
+        )
+        return out
+
+    benchmark(run)
+
+
+def test_schedules_agree_numerically(benchmark, workload):
+    tree, factors = workload
+    dim = tree.dims[tree.dim_perm[0]]
+
+    def sweep():
+        results = {}
+        for schedule in SCHEDULES:
+            layer = make_tasking_layer(ChapelEnv(num_tasks=4))
+            out = np.zeros((dim, BENCH_RANK))
+            forall_scheduled(
+                layer, tree.nslices,
+                lambda lo, hi, tid: root_range_vectorized(tree, factors, out, lo, hi),
+                schedule=schedule, chunk=16,
+            )
+            results[schedule] = out
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ref = results["static"]
+    for schedule, out in results.items():
+        np.testing.assert_allclose(out, ref, atol=1e-10, err_msg=schedule)

@@ -1,0 +1,91 @@
+"""Benchmark: the three tensor-completion solvers (SPLATT's trio).
+
+One epoch of each optimizer on a NETFLIX-shaped planted workload, plus an
+end-to-end quality race — the comparison SPLATT's completion paper runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.completion.als import als_step
+from repro.completion.ccd import ccd_epoch
+from repro.completion.driver import CompletionOptions, complete
+from repro.completion.losses import rmse
+from repro.completion.sgd import sgd_epoch
+from repro.tensor.generate import planted_low_rank
+
+RANK = 8
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tensor, _ = planted_low_rank((400, 200, 30), 4, 25_000, noise=0.05, seed=3)
+    return tensor
+
+
+def _init(tensor, seed=0):
+    rng = np.random.default_rng(seed)
+    scale = (float(np.abs(tensor.values).mean()) / RANK) ** (1 / 3)
+    return [rng.random((d, RANK)) * scale for d in tensor.dims]
+
+
+def test_completion_als_epoch(benchmark, workload):
+    factors = _init(workload)
+    benchmark(lambda: als_step(workload, factors, regularization=1e-3))
+
+
+def test_completion_sgd_epoch(benchmark, workload):
+    factors = _init(workload)
+    rng = np.random.default_rng(0)
+    benchmark(
+        lambda: sgd_epoch(workload, factors, learn_rate=0.01,
+                          regularization=1e-3, rng=rng)
+    )
+
+
+def test_completion_ccd_epoch(benchmark, workload):
+    factors = _init(workload)
+    state = {"residual": None}
+
+    def epoch():
+        state["residual"] = ccd_epoch(
+            workload, factors, regularization=1e-3, residual=state["residual"]
+        )
+
+    benchmark(epoch)
+
+
+def test_completion_quality_race(benchmark, workload):
+    """All three must beat the mean-predictor baseline on a held-out slice."""
+    def race():
+        out = {}
+        for algo in ("als", "sgd", "ccd"):
+            opts = CompletionOptions(
+                algorithm=algo, max_epochs=15, regularization=1e-3,
+                learn_rate=0.02, seed=5,
+            )
+            out[algo] = complete(workload, RANK, opts)
+        return out
+
+    results = benchmark.pedantic(race, rounds=1, iterations=1)
+    baseline = float(np.std(workload.values))
+    for algo, result in results.items():
+        assert result.final_train_rmse < 0.8 * baseline, algo
+        assert min(result.val_rmse) < baseline, algo
+    # exact per-mode solves converge fastest per epoch
+    assert results["als"].final_train_rmse <= results["sgd"].final_train_rmse
+
+
+def test_completion_epochs_monotone_train_rmse(benchmark, workload):
+    """ALS train RMSE is non-increasing epoch over epoch (exact solves)."""
+    def run():
+        factors = _init(workload)
+        history = [rmse(workload.coords, workload.values, factors)]
+        for _ in range(6):
+            als_step(workload, factors, regularization=1e-3)
+            history.append(rmse(workload.coords, workload.values, factors))
+        return history
+
+    history = benchmark.pedantic(run, rounds=1, iterations=1)
+    for prev, cur in zip(history, history[1:]):
+        assert cur <= prev + 1e-10

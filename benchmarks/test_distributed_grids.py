@@ -1,0 +1,77 @@
+"""Benchmark/ablation: distributed grid shape vs communication volume.
+
+The medium-grained paper's central trade: grid shape determines how much
+factor-row surface each locale exposes.  The proportional grid chosen by
+``choose_grid`` should (near-)minimize fold+expand volume among same-size
+grids, and volume should grow sublinearly with locale count.
+"""
+
+import pytest
+
+from repro.distributed.cpals import distributed_cp_als
+from repro.distributed.grid import LocaleGrid, choose_grid
+from repro.distributed.partition import partition_medium_grain
+from repro.tensor.generate import synthetic_dataset
+
+RANK = 8
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return synthetic_dataset("nell-2", scale=0.5)
+
+
+@pytest.mark.parametrize("nlocales", [1, 4, 8])
+def test_distributed_cpals_run(benchmark, tensor, nlocales):
+    result = benchmark.pedantic(
+        lambda: distributed_cp_als(
+            tensor, RANK, nlocales=nlocales, max_iterations=2, tolerance=0
+        ),
+        rounds=2, iterations=1,
+    )
+    assert result.iterations == 2
+
+
+def test_grid_shape_ablation(benchmark, tensor):
+    """Among all 8-locale grids, the proportional choice is near-optimal in
+    communication volume."""
+    shapes = [(8, 1, 1), (1, 8, 1), (1, 1, 8), (2, 2, 2), (4, 2, 1), (2, 1, 4)]
+
+    def sweep():
+        volumes = {}
+        for shape in shapes:
+            result = distributed_cp_als(
+                tensor, RANK, grid=LocaleGrid(shape), max_iterations=1, tolerance=0
+            )
+            volumes[shape] = result.comm.volume_bytes(RANK)
+        return volumes
+
+    volumes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    chosen = choose_grid(tensor.dims, 8).shape
+    best = min(volumes.values())
+    # the proportional grid is within 1.5x of the best 8-locale grid
+    assert volumes[chosen] <= 1.5 * best
+
+
+def test_partition_benchmark(benchmark, tensor):
+    grid = choose_grid(tensor.dims, 8)
+    part = benchmark(lambda: partition_medium_grain(tensor, grid))
+    assert sum(part.nnz_per_locale) == tensor.nnz
+    assert part.imbalance < 3.0
+
+
+def test_3d_grid_beats_worst_1d_grid(benchmark, tensor):
+    """The point of the medium-grained (3-D) decomposition: at the same
+    locale count, a Cartesian grid moves less data than slicing a single
+    mode (the coarse-grained layout)."""
+    def sweep():
+        v = {}
+        for shape in ((2, 2, 2), (8, 1, 1), (1, 8, 1)):
+            result = distributed_cp_als(tensor, RANK, grid=LocaleGrid(shape),
+                                        max_iterations=1, tolerance=0)
+            v[shape] = result.comm.volume_bytes(RANK)
+        return v
+
+    v = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    worst_1d = max(v[(8, 1, 1)], v[(1, 8, 1)])
+    assert v[(2, 2, 2)] < worst_1d

@@ -1,0 +1,34 @@
+"""Fig 1 — sorting optimization ladder on NELL-2.
+
+Benchmarks every sort variant on the NELL-2 stand-in and asserts the
+ladder's shape; the paper-scale curves come from the simulated experiment.
+"""
+
+import pytest
+
+from _bench_utils import print_experiment
+from repro.bench.runner import get_experiment
+from repro.tensor.sort import SORT_VARIANTS, sort_tensor
+
+
+@pytest.mark.parametrize("variant", SORT_VARIANTS)
+def test_fig1_sort_variant(benchmark, nell2_tensor, variant):
+    rounds = 1 if variant != "lexsort" else 5
+    result = benchmark.pedantic(
+        lambda: sort_tensor(nell2_tensor, 0, variant=variant),
+        rounds=rounds, iterations=1,
+    )
+    assert result.nnz == nell2_tensor.nnz
+
+
+def test_fig1_simulated_shape(benchmark):
+    result = benchmark.pedantic(get_experiment("fig1"), rounds=1, iterations=1)
+    serial = result.rows[0]
+    # Initial > Array-opt > Slices-opt > All-opts, ~8x combined (paper §V-C)
+    assert serial[1] > serial[2] > serial[3] > serial[4]
+    assert 6 <= serial[1] / serial[4] <= 9
+    # every variant's curve falls with task count
+    for col in range(1, 5):
+        series = [row[col] for row in result.rows]
+        assert series[0] > series[-1]
+    print_experiment("fig1")

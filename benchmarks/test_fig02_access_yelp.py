@@ -1,0 +1,47 @@
+"""Fig 2 — MTTKRP matrix-access ladder on YELP.
+
+Benchmarks every access variant on the YELP stand-in (all three modes, the
+full MTTKRP sweep of one ALS iteration) and asserts the ladder ordering the
+paper reports; the paper-scale curves come from the simulation.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import print_experiment
+from repro.bench.runner import get_experiment
+from repro.mttkrp.variants import ACCESS_VARIANTS, mttkrp_csf
+
+
+def _sweep(csf_set, factors):
+    def run(variant):
+        outs = []
+        for mode in range(3):
+            out, _ = mttkrp_csf(csf_set, factors, mode, variant=variant)
+            outs.append(out)
+        return outs
+    return run
+
+
+@pytest.mark.parametrize("variant", ACCESS_VARIANTS)
+def test_fig2_variant(benchmark, yelp_csf, yelp_factors, variant):
+    run = _sweep(yelp_csf, yelp_factors)
+    rounds = 5 if variant == "vectorized" else 2
+    outs = benchmark.pedantic(lambda: run(variant), rounds=rounds, iterations=1)
+    ref = _sweep(yelp_csf, yelp_factors)("vectorized")
+    for a, b in zip(outs, ref):
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+def test_fig2_simulated_shape(benchmark):
+    result = benchmark.pedantic(get_experiment("fig2"), rounds=1, iterations=1)
+    for row in result.rows:
+        assert row[1] > row[2] > row[3]  # slicing > 2D-index > pointer
+    serial = result.rows[0]
+    assert 10 <= serial[1] / serial[2] <= 17  # paper: 2D-index ~12x on YELP
+    assert serial[2] / serial[3] == pytest.approx(1.26, rel=0.05)
+    # YELP scales poorly under the sync locks: the 32-task pointer time is
+    # worse than the 8-task one (paper Fig 2's hook into Fig 4)
+    by_tasks = {row[0]: row[3] for row in result.rows}
+    assert by_tasks[32] > by_tasks[8]
+    print_experiment("fig2")

@@ -1,0 +1,41 @@
+"""Fig 3 — MTTKRP matrix-access ladder on NELL-2 (the no-lock dataset)."""
+
+import numpy as np
+import pytest
+
+from _bench_utils import print_experiment
+from repro.bench.runner import get_experiment
+from repro.mttkrp.variants import ACCESS_VARIANTS, mttkrp_csf
+
+
+@pytest.mark.parametrize("variant", ACCESS_VARIANTS)
+def test_fig3_variant(benchmark, nell2_csf, nell2_factors, variant):
+    def run():
+        for mode in range(3):
+            mttkrp_csf(nell2_csf, nell2_factors, mode, variant=variant)
+
+    rounds = 5 if variant == "vectorized" else 2
+    benchmark.pedantic(run, rounds=rounds, iterations=1)
+
+
+def test_fig3_variants_agree(benchmark, nell2_csf, nell2_factors):
+    def check():
+        for mode in range(3):
+            ref, _ = mttkrp_csf(nell2_csf, nell2_factors, mode, variant="vectorized")
+            for variant in ACCESS_VARIANTS:
+                out, _ = mttkrp_csf(nell2_csf, nell2_factors, mode, variant=variant)
+                np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_fig3_simulated_shape(benchmark):
+    result = benchmark.pedantic(get_experiment("fig3"), rounds=1, iterations=1)
+    for row in result.rows:
+        assert row[1] > row[2] > row[3]
+    serial = result.rows[0]
+    assert 10 <= serial[1] / serial[2] <= 18  # paper: ~17x on NELL-2
+    # NELL-2 never locks: near-linear scaling of the pointer curve
+    pointer = [row[3] for row in result.rows]
+    assert pointer[0] / pointer[-1] >= 14
+    print_experiment("fig3")

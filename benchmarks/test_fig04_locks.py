@@ -1,0 +1,77 @@
+"""Fig 4 — mutex pools: sync vs atomic vs FIFO-sync.
+
+Benchmarks the real lock pools under genuine multi-threaded contention
+(Python threads hammering a deliberately small pool) and the locked MTTKRP
+path; asserts the simulated paper-scale curve's shape.
+"""
+
+import threading
+
+import pytest
+
+from _bench_utils import print_experiment
+from repro.bench.runner import get_experiment
+from repro.mttkrp.variants import mttkrp_csf
+from repro.runtime.env import ChapelEnv
+from repro.runtime.locks import make_mutex_pool
+from repro.runtime.tasking import make_tasking_layer
+
+POOL_CONFIGS = [("sync", "qthreads"), ("atomic", "qthreads"), ("sync", "fifo")]
+
+
+@pytest.mark.parametrize("kind,layer", POOL_CONFIGS, ids=lambda v: str(v))
+def test_fig4_pool_contention(benchmark, kind, layer):
+    """4 threads × 2000 acquires over an 8-lock pool — real contention."""
+    env = ChapelEnv(num_tasks=4, tasking_layer=layer)
+
+    def hammer():
+        pool = make_mutex_pool(kind, size=8, env=env)
+
+        def worker(tid):
+            for i in range(2000):
+                with pool.guard_row(i):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return pool
+
+    pool = benchmark.pedantic(hammer, rounds=3, iterations=1)
+    assert pool.counters.lock_acquires == 8000
+    if kind == "sync" and layer == "fifo":
+        assert pool.counters.sync_sleeps == 0
+
+
+@pytest.mark.parametrize("kind,layer", POOL_CONFIGS, ids=lambda v: str(v))
+def test_fig4_locked_mttkrp(benchmark, yelp_csf, yelp_factors, kind, layer):
+    """The real locked MTTKRP path on YELP's non-root mode."""
+    env = ChapelEnv(num_tasks=4, tasking_layer=layer)
+    locked_mode = next(
+        m for m in range(3) if yelp_csf.tree_for_mode(m)[1] != "root"
+    )
+
+    def run():
+        layer_obj = make_tasking_layer(env)
+        pool = make_mutex_pool(kind, size=64, env=env)
+        out, info = mttkrp_csf(
+            yelp_csf, yelp_factors, locked_mode,
+            variant="vectorized", layer=layer_obj, pool=pool, force_locks=True,
+        )
+        assert info.used_locks
+        return pool
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_fig4_simulated_shape(benchmark):
+    result = benchmark.pedantic(get_experiment("fig4"), rounds=1, iterations=1)
+    by_tasks = {row[0]: row for row in result.rows}
+    # locks engage only beyond 2 tasks
+    assert by_tasks[2][4] is False and by_tasks[4][4] is True
+    # paper: ~14.5x sync-vs-atomic gap at 32; FIFO-sync competitive
+    assert 10 <= by_tasks[32][1] / by_tasks[32][2] <= 20
+    assert by_tasks[32][3] <= 1.5 * by_tasks[32][2]
+    print_experiment("fig4")

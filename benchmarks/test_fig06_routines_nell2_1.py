@@ -1,0 +1,51 @@
+"""Fig 6 — per-routine breakdown, NELL-2, serial: C vs Chapel-optimize."""
+
+import pytest
+
+from _bench_utils import BENCH_RANK, print_experiment
+from repro.bench.runner import get_experiment
+from repro.core.cpals import cp_als
+from repro.core.options import CpalsOptions
+
+
+def _run(tensor, variant, sort_variant):
+    opts = CpalsOptions(
+        max_iterations=1, tolerance=0.0, variant=variant, sort_variant=sort_variant
+    )
+    return cp_als(tensor, BENCH_RANK, opts)
+
+
+def test_fig6_c_role(benchmark, nell2_tensor):
+    benchmark.pedantic(
+        lambda: _run(nell2_tensor, "vectorized", "lexsort"), rounds=3, iterations=1
+    )
+
+
+def test_fig6_chapel_optimized(benchmark, nell2_tensor):
+    benchmark.pedantic(
+        lambda: _run(nell2_tensor, "pointer", "all_opts"), rounds=2, iterations=1
+    )
+
+
+def test_fig6_measured_numerics_agree(benchmark, nell2_tensor):
+    results = benchmark.pedantic(
+        lambda: (
+            _run(nell2_tensor, "vectorized", "lexsort"),
+            _run(nell2_tensor, "pointer", "all_opts"),
+        ),
+        rounds=1, iterations=1,
+    )
+    c, ch = results
+    assert ch.fit == pytest.approx(c.fit, abs=1e-9)
+
+
+def test_fig6_simulated_shape(benchmark):
+    result = benchmark.pedantic(get_experiment("fig6"), rounds=1, iterations=1)
+    c_row, chapel_row = result.rows
+    headers = list(result.headers)
+    c = dict(zip(headers[1:], c_row[1:]))
+    ch = dict(zip(headers[1:], chapel_row[1:]))
+    # paper anchors: MTTKRP 109.25 vs 118.33 (1.083x); sort 7.90 vs 9.86
+    assert ch["mttkrp"] / c["mttkrp"] == pytest.approx(1.07, rel=0.03)
+    assert 1.1 <= ch["sort"] / c["sort"] <= 1.35
+    print_experiment("fig6")

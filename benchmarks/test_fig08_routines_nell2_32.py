@@ -1,0 +1,35 @@
+"""Fig 8 — per-routine breakdown, NELL-2, 32 tasks (the no-lock dataset)."""
+
+from _bench_utils import BENCH_RANK, print_experiment
+from repro.bench.runner import get_experiment
+from repro.core.cpals import cp_als
+from repro.core.options import CpalsOptions
+from repro.runtime.env import ChapelEnv
+
+
+def test_fig8_parallel_cpals_measured(benchmark, nell2_tensor):
+    """Real 4-task CP-ALS on the NELL-2 stand-in (no locks, privatized)."""
+    opts = CpalsOptions(
+        max_iterations=1, tolerance=0.0, env=ChapelEnv(num_tasks=4)
+    )
+
+    def run():
+        return cp_als(nell2_tensor, BENCH_RANK, opts)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert not any(i.used_locks for i in result.mttkrp_infos)
+    assert result.counters.lock_acquires == 0
+
+
+def test_fig8_simulated_shape(benchmark):
+    result = benchmark.pedantic(get_experiment("fig8"), rounds=1, iterations=1)
+    c_row, chapel_row = result.rows
+    headers = list(result.headers)
+    c = dict(zip(headers[1:], c_row[1:]))
+    ch = dict(zip(headers[1:], chapel_row[1:]))
+    # paper anchors at 32: MTTKRP 5.81 vs 6.03 (96%); inverse 0.04 vs 0.39;
+    # sort 0.63 vs 1.45
+    assert 0.9 <= c["mttkrp"] / ch["mttkrp"] <= 1.0
+    assert ch["inverse"] > 5 * c["inverse"]
+    assert 1.5 <= ch["sort"] / c["sort"] <= 3.0
+    print_experiment("fig8")

@@ -1,0 +1,37 @@
+"""Table I — dataset properties: benchmark the generators, assert signatures."""
+
+import pytest
+
+from _bench_utils import print_experiment
+from repro.bench.runner import get_experiment
+from repro.tensor.generate import DATASET_SIGNATURES, synthetic_dataset
+from repro.tensor.stats import tensor_stats
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_SIGNATURES))
+def test_table1_generation(benchmark, name):
+    tensor = benchmark.pedantic(
+        lambda: synthetic_dataset(name), rounds=3, iterations=1
+    )
+    sig = DATASET_SIGNATURES[name]
+    assert tensor.dims == sig.bench_dims
+    assert tensor.nnz >= 0.9 * sig.bench_nnz
+
+
+def test_table1_report(benchmark):
+    result = benchmark.pedantic(get_experiment("table1"), rounds=1, iterations=1)
+    assert len(result.rows) == 5  # all five paper datasets
+    print_experiment("table1")
+
+
+def test_table1_hub_structure(benchmark):
+    """YELP-like review data must be hubbier than NELL-2-like triples."""
+    stats = benchmark.pedantic(
+        lambda: (
+            tensor_stats(synthetic_dataset("yelp")),
+            tensor_stats(synthetic_dataset("nell-2")),
+        ),
+        rounds=1, iterations=1,
+    )
+    yelp, nell = stats
+    assert yelp.max_top_slice_share > nell.max_top_slice_share

@@ -1,0 +1,24 @@
+"""Table II — environment report, plus the cost of a full simulation pass."""
+
+from _bench_utils import print_experiment
+from repro.bench.runner import get_experiment
+from repro.perfmodel.simulate import SimConfig, paper_scale_stats, simulate_cpals
+
+
+def test_table2_report(benchmark):
+    result = benchmark(get_experiment("table2"))
+    properties = result.column("Property")
+    assert "CPU" in properties and "BLAS/LAPACK" in properties
+    print_experiment("table2")
+
+
+def test_simulation_throughput(benchmark):
+    """One full paper-scale CP-ALS simulation should be micro-fast — the
+    figures sweep hundreds of configurations."""
+    stats = paper_scale_stats("yelp")
+
+    def run():
+        return simulate_cpals(stats, SimConfig.chapel_optimized(32))
+
+    run_result = benchmark(run)
+    assert run_result.total > 0

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Distributed CP-ALS (the paper's future work), simulated locale by locale.
+
+The paper closes by planning to port SPLATT's medium-grained
+distributed-memory algorithm onto Chapel's multi-locales.  This example
+runs that algorithm over simulated locales: the tensor is cut over a
+Cartesian locale grid, every locale computes real local MTTKRPs over its
+own CSF, and the fold/expand factor-row exchanges are executed and
+metered.  The numerics are identical to the serial solver — what changes
+is the communication volume, which is exactly what grid shape controls.
+
+Run:  python examples/distributed_localescale.py
+"""
+
+import repro
+from repro.distributed import LocaleGrid, choose_grid, distributed_cp_als
+
+RANK = 8
+
+print("generating the NELL-2 stand-in...")
+tensor = repro.synthetic_dataset("nell-2", seed=1)
+print(f"  {tensor}\n")
+
+serial = repro.cp_als(
+    tensor, RANK, repro.CpalsOptions(max_iterations=5, tolerance=0.0, seed=3)
+)
+print(f"serial fit after 5 iterations: {serial.fit:.6f}\n")
+
+# ----------------------------------------------------------------------
+# Scale the locale count: identical numerics, growing (metered) traffic.
+# ----------------------------------------------------------------------
+print(f"{'locales':>8} {'grid':>10} {'imbalance':>9} {'fold rows':>10} "
+      f"{'expand rows':>11} {'messages':>9} {'volume':>10} {'fit drift':>10}")
+for nlocales in (1, 2, 4, 8, 16):
+    result = distributed_cp_als(
+        tensor, RANK, nlocales=nlocales, max_iterations=5, tolerance=0.0, seed=3
+    )
+    drift = abs(result.fit - serial.fit)
+    grid = "x".join(str(g) for g in result.grid.shape)
+    print(f"{nlocales:>8} {grid:>10} {result.partition.imbalance:>9.2f} "
+          f"{result.comm.fold_rows:>10} {result.comm.expand_rows:>11} "
+          f"{result.comm.total_messages:>9} "
+          f"{result.comm.volume_bytes(RANK):>10} {drift:>10.2e}")
+
+# ----------------------------------------------------------------------
+# Grid-shape ablation at 8 locales: 3-D beats slicing a single mode.
+# ----------------------------------------------------------------------
+print("\ngrid-shape ablation at 8 locales (communication volume in bytes):")
+for shape in ((8, 1, 1), (1, 8, 1), (1, 1, 8), (2, 2, 2), (2, 1, 4)):
+    result = distributed_cp_als(
+        tensor, RANK, grid=LocaleGrid(shape), max_iterations=1, tolerance=0.0
+    )
+    marker = " <- choose_grid" if shape == choose_grid(tensor.dims, 8).shape else ""
+    print(f"  {'x'.join(str(g) for g in shape):>7}: "
+          f"{result.comm.volume_bytes(RANK):>9}{marker}")
+
+print("\nThe Cartesian (medium-grained) grids move less data than 1-D")
+print("slicing — the result that motivates SPLATT's distributed design.")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Ratings-prediction scenario: tensor completion on a NETFLIX-like tensor.
+
+The NETFLIX tensor of Table I is (user × movie × day); most cells are
+unobserved, and the task is to predict held-out ratings — tensor
+*completion*, SPLATT's third routine family.  This example compares the
+three completion solvers (ALS, SGD, CCD++) on a planted-structure
+NETFLIX-shaped workload and shows the driver's early stopping at work.
+
+Run:  python examples/movie_ratings_completion.py
+"""
+
+import numpy as np
+
+import repro
+from repro.tensor.generate import planted_low_rank
+
+RANK_TRUE = 4
+RANK_FIT = 4
+
+# ----------------------------------------------------------------------
+# A NETFLIX-shaped observation set with planted low-rank taste structure.
+# ----------------------------------------------------------------------
+dims = (600, 250, 40)  # users x movies x days (scaled NETFLIX shape)
+tensor, true_factors = planted_low_rank(dims, RANK_TRUE, 40_000, noise=0.05, seed=11)
+print(f"observations: {tensor}  (~{100 * tensor.density:.2f}% of cells observed)")
+
+# Hold out a test set the solvers never see.
+train, test = repro.split_nonzeros(tensor, 0.1, seed=0)
+test_coords, test_values = test.coords, test.values
+print(f"train: {train.nnz} entries   test: {len(test_values)} entries\n")
+
+# ----------------------------------------------------------------------
+# Fit with each solver.
+# ----------------------------------------------------------------------
+baseline = np.sqrt(np.mean((test_values - train.values.mean()) ** 2))
+print(f"{'solver':8s} {'epochs':>6} {'train RMSE':>11} {'val RMSE':>9} "
+      f"{'test RMSE':>10} {'seconds':>8}")
+print(f"{'mean':8s} {'-':>6} {'-':>11} {'-':>9} {baseline:>10.4f} {'-':>8}")
+for algo in ("als", "ccd", "sgd"):
+    opts = repro.CompletionOptions(
+        algorithm=algo,
+        max_epochs=60,
+        regularization=1e-3,
+        learn_rate=0.02,
+        patience=5,
+        seed=7,
+    )
+    result = repro.complete(train, RANK_FIT, opts)
+    test_rmse = np.sqrt(np.mean((result.predict(test_coords) - test_values) ** 2))
+    print(f"{algo:8s} {result.epochs:>6} {result.final_train_rmse:>11.4f} "
+          f"{min(result.val_rmse):>9.4f} {test_rmse:>10.4f} "
+          f"{result.seconds:>8.2f}")
+
+print("\nAll three solvers should beat the mean baseline by a wide margin;")
+print("ALS typically converges in the fewest epochs, CCD++ uses the least")
+print("memory per epoch, SGD trades accuracy for per-epoch cost.")

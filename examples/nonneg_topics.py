@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Constrained CP: non-negative topic extraction on review data.
+
+Unconstrained CP components mix positive and negative loadings, which is
+hard to read as "topics".  SPLATT's constrained CP (ported here as
+AO-ADMM) solves that: with non-negativity on every mode, each component
+becomes an additive bundle of users, businesses and words — directly
+interpretable, at a small cost in raw fit.  An ℓ₁ penalty goes further and
+sparsifies the loadings.
+
+Run:  python examples/nonneg_topics.py
+"""
+
+import numpy as np
+
+import repro
+from repro.constrained import LassoConstraint, constrained_cp_als
+
+RANK = 6
+
+print("generating a YELP-like review tensor...")
+tensor = repro.synthetic_dataset("yelp", scale=0.5, seed=13)
+print(f"  {tensor}\n")
+
+# ----------------------------------------------------------------------
+# Three fits: unconstrained, non-negative, sparse non-negative-ish (l1).
+# ----------------------------------------------------------------------
+runs = {
+    "unconstrained": constrained_cp_als(
+        tensor, RANK, "none", max_iterations=25, tolerance=1e-5, seed=2
+    ),
+    "non-negative": constrained_cp_als(
+        tensor, RANK, "nonneg", max_iterations=25, tolerance=1e-5, seed=2
+    ),
+    "l1-sparse": constrained_cp_als(
+        tensor, RANK, LassoConstraint(weight=0.3),
+        max_iterations=25, tolerance=1e-5, seed=2,
+    ),
+}
+
+print(f"{'model':15s} {'fit':>7} {'neg entries':>12} {'zero entries':>13}")
+for name, res in runs.items():
+    neg = sum(int((f < -1e-12).sum()) for f in res.factors)
+    zero = sum(int((np.abs(f) < 1e-8).sum()) for f in res.factors)
+    print(f"{name:15s} {res.fit:>7.4f} {neg:>12} {zero:>13}")
+
+# ----------------------------------------------------------------------
+# Read the non-negative topics.
+# ----------------------------------------------------------------------
+ncp = runs["non-negative"]
+word_factor = ncp.factors[2]
+strength = word_factor.sum(axis=0)
+order = np.argsort(strength)[::-1]
+print("\nnon-negative topics (top words by loading):")
+for r in order[:3]:
+    top = np.argsort(word_factor[:, r])[::-1][:6]
+    words = ", ".join(f"word{int(w)}({word_factor[w, r]:.2f})" for w in top)
+    print(f"  topic {int(r)}: {words}")
+
+print("\nEvery loading is >= 0, so a topic reads as 'these users reviewing")
+print("these businesses using these words' — the interpretability win that")
+print("motivates constrained CP.")

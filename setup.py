@@ -1,0 +1,5 @@
+"""Setup shim: enables `python setup.py develop` on environments without
+the `wheel` package (PEP 517 editable installs need bdist_wheel)."""
+from setuptools import setup
+
+setup()

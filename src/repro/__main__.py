@@ -1,0 +1,5 @@
+"""``python -m repro`` — the command-line tool (see :mod:`repro.cli`)."""
+
+from repro.cli import main
+
+raise SystemExit(main())

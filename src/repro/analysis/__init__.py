@@ -1,0 +1,29 @@
+"""Decomposition quality analysis.
+
+Tools for judging what CP-ALS produced — the questions a SPLATT user asks
+after ``splatt cpd`` finishes:
+
+* :func:`~repro.analysis.fms.factor_match_score` — permutation- and
+  scaling-invariant similarity between two Kruskal models (the standard
+  FMS of the tensor literature); used to verify that CP-ALS *recovers
+  planted factors*, a much stronger statement than a good fit.
+* :func:`~repro.analysis.corcondia.core_consistency` — the CORCONDIA
+  diagnostic: how close the implied Tucker core is to the CP
+  superdiagonal (100 = perfectly trilinear; drops sharply when the chosen
+  rank exceeds the data's true rank).
+* :func:`~repro.analysis.components.component_summary` /
+  :func:`~repro.analysis.components.top_entities` — human-readable
+  component inspection used by the examples.
+"""
+
+from repro.analysis.components import component_summary, top_entities
+from repro.analysis.corcondia import core_consistency
+from repro.analysis.fms import align_components, factor_match_score
+
+__all__ = [
+    "factor_match_score",
+    "align_components",
+    "core_consistency",
+    "component_summary",
+    "top_entities",
+]

@@ -1,0 +1,64 @@
+"""Human-readable component inspection (what the examples print)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kruskal import KruskalTensor
+
+__all__ = ["top_entities", "component_summary", "ComponentInfo"]
+
+
+def top_entities(model: KruskalTensor, mode: int, component: int, k: int = 5) -> list[tuple[int, float]]:
+    """The ``k`` strongest indices of one component in one mode.
+
+    Returns ``(index, loading)`` pairs sorted by descending |loading|.
+    """
+    if not 0 <= mode < model.nmodes:
+        raise ValueError(f"mode {mode} out of range")
+    if not 0 <= component < model.rank:
+        raise ValueError(f"component {component} out of range for rank {model.rank}")
+    col = model.factors[mode][:, component]
+    k = min(k, col.shape[0])
+    order = np.argsort(np.abs(col))[::-1][:k]
+    return [(int(i), float(col[i])) for i in order]
+
+
+@dataclass(frozen=True)
+class ComponentInfo:
+    """Summary of one rank-one component."""
+
+    component: int
+    weight: float
+    #: Per-mode concentration: fraction of the column's ℓ₂ energy in its
+    #: top 1% of entries (hub-iness of the component).
+    concentration: tuple[float, ...]
+    #: Per-mode top entities, ``(index, loading)``.
+    top: tuple[tuple[tuple[int, float], ...], ...]
+
+
+def component_summary(model: KruskalTensor, *, k: int = 5) -> list[ComponentInfo]:
+    """Per-component summaries, sorted by descending weight."""
+    order = np.argsort(np.abs(model.weights))[::-1]
+    out = []
+    for r in order:
+        conc = []
+        tops = []
+        for m, factor in enumerate(model.factors):
+            col = factor[:, r]
+            energy = float((col * col).sum()) or 1.0
+            top_n = max(1, col.shape[0] // 100)
+            top_energy = float(np.sort(col * col)[-top_n:].sum())
+            conc.append(top_energy / energy)
+            tops.append(tuple(top_entities(model, m, int(r), k)))
+        out.append(
+            ComponentInfo(
+                component=int(r),
+                weight=float(model.weights[r]),
+                concentration=tuple(conc),
+                top=tuple(tops),
+            )
+        )
+    return out

@@ -1,0 +1,87 @@
+"""Factor match score (FMS) between Kruskal models.
+
+The FMS is the standard permutation- and scaling-invariant similarity for
+CP decompositions: components are matched one-to-one (optimal assignment)
+and each matched pair scores the product over modes of the cosine
+similarity between its factor columns, discounted by weight disagreement:
+
+    FMS = (1/R) Σ_r  (1 − |ξ_p(r) − ξ_r| / max(ξ_p(r), ξ_r)) ·
+                     Π_m |cos(a_r^m, b_p(r)^m)|
+
+with ``ξ`` the component magnitudes (λ times the column norms).  1 means
+the models are identical up to permutation and per-mode scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.kruskal import KruskalTensor
+
+__all__ = ["factor_match_score", "align_components"]
+
+
+def _normalized_columns(model: KruskalTensor) -> tuple[list[np.ndarray], np.ndarray]:
+    """Unit-column factors and absorbed component magnitudes ``ξ``."""
+    mags = np.abs(np.asarray(model.weights, dtype=float)).copy()
+    units = []
+    for factor in model.factors:
+        norms = np.linalg.norm(factor, axis=0)
+        safe = np.where(norms == 0, 1.0, norms)
+        units.append(factor / safe)
+        mags *= norms
+    return units, mags
+
+
+def _congruence_matrix(a: KruskalTensor, b: KruskalTensor) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pairwise component scores before assignment."""
+    if a.nmodes != b.nmodes or a.dims != b.dims:
+        raise ValueError(f"models have different shapes: {a.dims} vs {b.dims}")
+    if a.rank != b.rank:
+        raise ValueError(f"models have different ranks: {a.rank} vs {b.rank}")
+    ua, xa = _normalized_columns(a)
+    ub, xb = _normalized_columns(b)
+    rank = a.rank
+    cos = np.ones((rank, rank))
+    for fa, fb in zip(ua, ub):
+        cos *= np.abs(fa.T @ fb)
+    return cos, xa, xb
+
+
+def align_components(a: KruskalTensor, b: KruskalTensor) -> np.ndarray:
+    """Optimal matching of ``b``'s components to ``a``'s.
+
+    Returns ``perm`` with ``b``'s component ``perm[r]`` matched to ``a``'s
+    component ``r`` (Hungarian assignment on the congruence matrix).
+    """
+    cos, _, _ = _congruence_matrix(a, b)
+    rows, cols = linear_sum_assignment(-cos)
+    perm = np.empty(a.rank, dtype=np.int64)
+    perm[rows] = cols
+    return perm
+
+
+def factor_match_score(
+    a: KruskalTensor,
+    b: KruskalTensor,
+    *,
+    weight_penalty: bool = True,
+) -> float:
+    """FMS between two same-shape, same-rank Kruskal models (∈ [0, 1]).
+
+    Parameters
+    ----------
+    weight_penalty:
+        Apply the magnitude-disagreement discount (set ``False`` to score
+        subspace similarity only).
+    """
+    cos, xa, xb = _congruence_matrix(a, b)
+    rows, cols = linear_sum_assignment(-cos)
+    scores = cos[rows, cols]
+    if weight_penalty:
+        wa = xa[rows]
+        wb = xb[cols]
+        denom = np.maximum(np.maximum(wa, wb), 1e-300)
+        scores = scores * (1.0 - np.abs(wa - wb) / denom)
+    return float(np.clip(scores.mean(), 0.0, 1.0))

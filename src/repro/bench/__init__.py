@@ -1,0 +1,24 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each experiment function returns an :class:`~repro.bench.runner.ExperimentResult`
+whose rows/series mirror what the paper reports.  Two modes:
+
+* **simulated** — the calibrated performance model at paper scale
+  (Tables/Figures as published; DESIGN.md explains the substitution).
+* **measured** — real wall-clock runs of this library's kernels on the
+  scaled synthetic datasets (1-task variant ladders and parallel runs that
+  are meaningful under the Python GIL).
+
+Run everything from the command line::
+
+    python -m repro.bench            # all experiments, simulated
+    python -m repro.bench fig4 fig9  # a subset
+    python -m repro.bench --measured table3
+
+or via pytest-benchmark: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.bench.datasets import bench_dataset
+from repro.bench.runner import ExperimentResult, all_experiments, get_experiment
+
+__all__ = ["ExperimentResult", "all_experiments", "get_experiment", "bench_dataset"]

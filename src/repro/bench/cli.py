@@ -1,0 +1,75 @@
+"""Command-line entry point: ``python -m repro.bench`` / ``repro-bench``.
+
+Regenerates any subset of the paper's tables and figures::
+
+    repro-bench                    # everything, simulated
+    repro-bench fig4 fig9 fig10    # a subset
+    repro-bench --measured table3  # real wall-clock at bench scale
+    repro-bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.runner import all_experiments, get_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-bench``; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all); see --list")
+    parser.add_argument("--measured", action="store_true",
+                        help="run real wall-clock kernels instead of the "
+                             "paper-scale simulation")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale for measured mode (default 1.0)")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render figure-shaped experiments as ASCII "
+                             "charts (log-scale, like the paper's figures)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    registry = all_experiments()
+    if args.list:
+        for exp_id, fn in sorted(registry.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{exp_id:10s} {doc[0] if doc else ''}")
+        return 0
+
+    ids = args.experiments or sorted(registry)
+    status = 0
+    for exp_id in ids:
+        try:
+            fn = get_experiment(exp_id)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            status = 2
+            continue
+        kwargs: dict = {"measured": args.measured}
+        if args.scale is not None and "scale" in fn.__code__.co_varnames:
+            kwargs["scale"] = args.scale
+        try:
+            result = fn(**kwargs)
+        except TypeError:
+            # experiments without a `scale`/`measured` parameter
+            result = fn()
+        print(result.render())
+        if args.plot:
+            chart = result.chart()
+            if chart:
+                print()
+                print(chart)
+        print()
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,196 @@
+"""Extension experiments beyond the paper's figures.
+
+* ``memory`` — the CSF memory/computation trade-off SPLATT's CSF paper
+  quantifies: COO vs one/two/all-mode CSF footprints, measured on the
+  stand-ins and extrapolated to the published nnz.
+* ``fwdist`` — the future-work projection: what the planned multi-locale
+  port would do at paper scale, combining the calibrated node model with
+  the *measured* fold/expand traffic of the simulated decomposition.
+* ``calibration`` — the model's report card: every Table III cell, paper
+  vs simulated, with relative errors (the model is fitted to this table
+  once; all other figures are predictions).
+"""
+
+from __future__ import annotations
+
+from repro._util import INDEX_DTYPE, VALUE_DTYPE, human_bytes
+from repro.bench.datasets import bench_dataset
+from repro.bench.runner import ExperimentResult, experiment
+from repro.csf.build import build_csf_set
+from repro.perfmodel.distributed import project_distributed
+from repro.tensor.generate import DATASET_SIGNATURES
+
+__all__ = ["memory", "fwdist", "calibration", "sensitivity"]
+
+
+@experiment("sensitivity")
+def sensitivity(*, measured: bool = False, perturbation: float = 0.25) -> ExperimentResult:
+    """Robustness of the headline conclusions to the calibration.
+
+    Perturbs the most influential calibrated constants by ±``perturbation``
+    (one at a time) and re-derives the paper's two headline claims — the
+    Chapel/C MTTKRP band and the Fig 4 sync-vs-atomic gap at 32 tasks.
+    Conclusions that only hold at the fitted point would be fragile; this
+    experiment shows they survive coarse mis-calibration.
+    """
+    import dataclasses
+
+    from repro.perfmodel.calibration import CALIBRATION
+    from repro.perfmodel.simulate import SimConfig, paper_scale_stats, simulate_cpals
+
+    stats = paper_scale_stats("yelp")
+
+    def headline(cal) -> tuple[float, float]:
+        """(worst C/opt ratio over 1..32 tasks, sync/atomic gap at 32)."""
+        ratios = []
+        for p in (1, 2, 4, 8, 16, 32):
+            c = simulate_cpals(stats, SimConfig.c_reference(p), cal=cal)["mttkrp"]
+            o = simulate_cpals(stats, SimConfig.chapel_optimized(p), cal=cal)["mttkrp"]
+            ratios.append(c / o)
+        sync_cfg = dataclasses.replace(SimConfig.chapel_optimized(32), mutex_kind="sync")
+        sync = simulate_cpals(stats, sync_cfg, cal=cal)["mttkrp"]
+        atomic = simulate_cpals(stats, SimConfig.chapel_optimized(32), cal=cal)["mttkrp"]
+        return min(ratios), sync / atomic
+
+    knobs = [
+        "contention_kappa",
+        "sync_sleep_share",
+        "sync_convoy_factor",
+        "spin_contended_cost",
+        "mttkrp_serial_fraction_chapel",
+    ]
+    rows = []
+    base_low, base_gap = headline(CALIBRATION)
+    rows.append(["(fitted)", "-", f"{100 * base_low:.0f}%", round(base_gap, 1)])
+    for knob in knobs:
+        for direction in (-1, 1):
+            value = getattr(CALIBRATION, knob) * (1 + direction * perturbation)
+            cal = dataclasses.replace(CALIBRATION, **{knob: value})
+            low, gap = headline(cal)
+            rows.append([
+                knob, f"{'+' if direction > 0 else '-'}{100 * perturbation:.0f}%",
+                f"{100 * low:.0f}%", round(gap, 1),
+            ])
+    return ExperimentResult(
+        exp_id="sensitivity",
+        title="Calibration sensitivity of the headline conclusions (YELP)",
+        headers=["constant", "perturbation", "min C/opt", "sync/atomic @32"],
+        rows=rows,
+        notes=[
+            "headline claims: Chapel within 83-96% of C (min C/opt stays "
+            "near or above ~0.8) and atomic ~14.5x faster than sync at 32 "
+            "tasks (gap stays order-10x) under every ±25% perturbation",
+        ],
+    )
+
+
+@experiment("calibration")
+def calibration(*, measured: bool = False) -> ExperimentResult:
+    """Model-vs-paper error table over every Table III cell."""
+    from repro.bench.tables import PAPER_TABLE3
+    from repro.core.timers import ROUTINES
+    from repro.perfmodel.simulate import SimConfig, paper_scale_stats, simulate_cpals
+
+    rows = []
+    worst = 0.0
+    for (dataset, threads, code), paper in sorted(PAPER_TABLE3.items()):
+        key = dataset.lower().replace("nell-2", "nell-2")
+        stats = paper_scale_stats(key)
+        cfg = (SimConfig.c_reference(threads) if code == "C"
+               else SimConfig.chapel_initial(threads))
+        run = simulate_cpals(stats, cfg)
+        for routine in ROUTINES:
+            sim = run.seconds[routine]
+            pap = paper[routine]
+            err = abs(sim - pap) / pap if pap else 0.0
+            # only the two dominant routines are calibration targets; the
+            # sub-second kernels are reported but not scored
+            scored = routine in ("mttkrp", "sort")
+            if scored:
+                worst = max(worst, err)
+            rows.append([
+                dataset, threads, code, routine,
+                round(pap, 3), round(sim, 3), f"{100 * err:.1f}%",
+                "yes" if scored else "no",
+            ])
+    return ExperimentResult(
+        exp_id="calibration",
+        title="Calibration report card: paper Table III vs the model",
+        headers=["dataset", "threads", "code", "routine", "paper s",
+                 "model s", "rel err", "scored"],
+        rows=rows,
+        notes=[
+            f"worst scored (MTTKRP/Sort) relative error: {100 * worst:.1f}%",
+            "the model is calibrated against this table once; Figs 1-10 and "
+            "§V-E are then predictions (see docs/PERFMODEL.md)",
+        ],
+    )
+
+
+@experiment("memory")
+def memory(*, measured: bool = False) -> ExperimentResult:
+    """CSF storage vs COO, per allocation policy (measured + extrapolated)."""
+    rows = []
+    bytes_per_nnz_coo = 3 * INDEX_DTYPE().itemsize + VALUE_DTYPE().itemsize
+    for key in ("yelp", "nell-2"):
+        tensor = bench_dataset(key)
+        sig = DATASET_SIGNATURES[key]
+        coo = tensor.nnz * bytes_per_nnz_coo
+        scale = sig.nnz / tensor.nnz
+        row = [sig.name, human_bytes(coo)]
+        for alloc in ("one", "two", "all"):
+            csf = build_csf_set(tensor, allocation=alloc)
+            row.append(f"{csf.memory_bytes() / coo:.2f}x")
+        row.append(human_bytes(coo * scale))
+        rows.append(row)
+    return ExperimentResult(
+        exp_id="memory",
+        title="CSF memory vs COO, by allocation policy",
+        headers=["dataset", "COO (bench)", "CSF one", "CSF two", "CSF all",
+                 "COO @ paper scale"],
+        rows=rows,
+        notes=[
+            "CSF ratios are measured on the stand-ins (ratios are "
+            "scale-stable for fixed structure)",
+            "shape criterion: one-tree CSF is smaller than COO per tree; "
+            "all-mode trades ~N trees of memory for lock-free MTTKRP "
+            "everywhere",
+        ],
+    )
+
+
+@experiment("fwdist")
+def fwdist(*, measured: bool = False, dataset: str = "nell-2") -> ExperimentResult:
+    """Projected multi-locale scaling (the paper's future work)."""
+    rows = []
+    base = None
+    for nlocales in (1, 2, 4, 8, 16):
+        proj = project_distributed(dataset, nlocales, iterations=20)
+        if base is None:
+            base = proj.total_seconds
+        rows.append([
+            nlocales,
+            "x".join(str(g) for g in proj.grid),
+            round(proj.compute_seconds, 2),
+            round(proj.comm_seconds, 4),
+            round(proj.total_seconds, 2),
+            round(base / proj.total_seconds, 2),
+            f"{100 * proj.comm_fraction:.2f}%",
+        ])
+    return ExperimentResult(
+        exp_id="fwdist",
+        title=f"Future-work projection: medium-grained distributed CP-ALS, "
+              f"{dataset.upper()} at paper scale",
+        headers=["locales", "grid", "compute s", "comm s", "total s",
+                 "speedup", "comm share"],
+        rows=rows,
+        notes=[
+            "compute: calibrated 36-core node model / locales; comm: α-β "
+            "network over the *measured* fold/expand traffic of the "
+            "simulated decomposition, scaled to published mode dims "
+            "(exchanges move factor rows)",
+            "shape criterion: near-linear speedup while the comm share "
+            "stays small (the medium-grained paper's finding at this "
+            "locale range)",
+        ],
+    )

@@ -1,0 +1,119 @@
+"""ASCII line charts for experiment series (the paper's figures, in text).
+
+The paper's Figs 1-4 and 9-10 are log-scale runtime-vs-tasks line charts.
+:func:`render_chart` draws the same series as a terminal plot so
+``repro-bench fig9 --plot`` shows the crossovers without leaving the
+shell.  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["render_chart"]
+
+#: Mark characters assigned to series, in column order.
+_MARKS = "ox+*#@%&"
+
+
+def _log_position(value: float, lo: float, hi: float, height: int) -> int:
+    """Row index (0 = top) for ``value`` on a log scale."""
+    if value <= 0 or hi <= lo:
+        return height - 1
+    frac = (math.log10(value) - math.log10(lo)) / (math.log10(hi) - math.log10(lo))
+    frac = min(max(frac, 0.0), 1.0)
+    return int(round((1.0 - frac) * (height - 1)))
+
+
+def render_chart(
+    x_values: Sequence,
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    height: int = 12,
+    log_y: bool = True,
+) -> str:
+    """Render named series against shared x positions.
+
+    Parameters
+    ----------
+    x_values:
+        Labels for the x positions (task counts, in the paper's figures).
+    series:
+        Name → y values (one per x position; non-positive values are
+        skipped on a log axis).
+    height:
+        Plot rows (excluding axes and legend).
+    log_y:
+        Log-scale the y axis, as the paper's figures do.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    npoints = len(x_values)
+    for name, ys in series.items():
+        if len(ys) != npoints:
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {npoints}"
+            )
+    ys_all = [y for ys in series.values() for y in ys if y > 0 or not log_y]
+    if not ys_all:
+        raise ValueError("no plottable values")
+    lo, hi = min(ys_all), max(ys_all)
+    if log_y and lo <= 0:
+        lo = min(y for y in ys_all if y > 0)
+    if hi == lo:
+        hi = lo * 10 if log_y else lo + 1
+
+    col_width = max(max(len(str(x)) for x in x_values) + 2, 6)
+    width = npoints * col_width
+    grid = [[" "] * width for _ in range(height)]
+
+    for si, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        prev = None
+        for xi, y in enumerate(ys):
+            if log_y and y <= 0:
+                prev = None
+                continue
+            if log_y:
+                row = _log_position(y, lo, hi, height)
+            else:
+                frac = (y - lo) / (hi - lo)
+                row = int(round((1.0 - min(max(frac, 0.0), 1.0)) * (height - 1)))
+            col = xi * col_width + col_width // 2
+            grid[row][col] = mark
+            # light vertical interpolation toward the previous point
+            if prev is not None and prev[0] != row:
+                prow, pcol = prev
+                step = 1 if row > prow else -1
+                denom = row - prow
+                for r in range(prow + step, row, step):
+                    c = pcol + (col - pcol) * (r - prow) // denom
+                    if grid[r][c] == " ":
+                        grid[r][c] = "."
+            prev = (row, col)
+
+    lines = []
+    if title:
+        lines.append(title)
+    scale = "log" if log_y else "linear"
+    top_label = f"{hi:.3g}"
+    bot_label = f"{lo:.3g}"
+    label_pad = max(len(top_label), len(bot_label), 8)
+    for ri, row_chars in enumerate(grid):
+        if ri == 0:
+            label = top_label
+        elif ri == height - 1:
+            label = bot_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_pad}} |" + "".join(row_chars))
+    lines.append(" " * label_pad + " +" + "-" * width)
+    x_axis = "".join(str(x).center(col_width) for x in x_values)
+    lines.append(" " * label_pad + "  " + x_axis)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>{label_pad}}  [{scale} y]  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The harness reports everything as aligned ASCII tables — one row per
+configuration, one column per routine or task count — matching how the
+paper's tables and figure series read.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_cell", "render_table", "render_ratio"]
+
+
+def format_cell(value) -> str:
+    """Human-format one table cell (floats get 4 significant digits)."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned table with a header rule."""
+    cells = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_ratio(numerator: float, denominator: float) -> str:
+    """``a/b`` as a percentage string, guarding division by zero."""
+    if denominator == 0:
+        return "n/a"
+    return f"{100.0 * numerator / denominator:.1f}%"

@@ -1,0 +1,169 @@
+"""Tables I-III of the paper.
+
+* Table I — dataset properties: published values next to the generated
+  stand-ins' actual properties.
+* Table II — environment: the paper's testbed next to this reproduction's
+  substitutions.
+* Table III — initial per-routine runtimes (C vs the unoptimized Chapel
+  port at 1 and 32 threads/tasks): simulated at paper scale, or measured
+  wall-clock at bench scale (``measured=True``).
+"""
+
+from __future__ import annotations
+
+import platform
+
+from repro.bench.datasets import BENCH_SCALE, bench_dataset
+from repro.bench.runner import ExperimentResult, experiment
+from repro.core.cpals import cp_als
+from repro.core.options import CpalsOptions
+from repro.core.timers import ROUTINES
+from repro.perfmodel.machine import MACHINE
+from repro.perfmodel.simulate import SimConfig, paper_scale_stats, simulate_cpals
+from repro.tensor.generate import DATASET_SIGNATURES
+from repro._util import human_bytes, prod
+
+__all__ = ["table1", "table2", "table3"]
+
+#: Paper Table III values (seconds), for side-by-side display:
+#: (dataset, threads, code) → routine values in ROUTINES order
+#: (mttkrp, sort, mat_ata, mat_norm, cpd_fit, inverse).
+PAPER_TABLE3 = {
+    ("YELP", 1, "C"): dict(mttkrp=13.31, sort=0.82, mat_ata=0.34, mat_norm=0.14, cpd_fit=0.04, inverse=0.94),
+    ("YELP", 1, "Chapel-initial"): dict(mttkrp=225.11, sort=7.21, mat_ata=0.36, mat_norm=0.14, cpd_fit=0.04, inverse=0.98),
+    ("YELP", 32, "C"): dict(mttkrp=0.73, sort=0.07, mat_ata=0.41, mat_norm=0.01, cpd_fit=0.01, inverse=0.05),
+    ("YELP", 32, "Chapel-initial"): dict(mttkrp=118.93, sort=0.47, mat_ata=0.56, mat_norm=0.06, cpd_fit=0.01, inverse=0.98),
+    ("NELL-2", 1, "C"): dict(mttkrp=109.25, sort=7.90, mat_ata=0.13, mat_norm=0.06, cpd_fit=0.01, inverse=0.37),
+    ("NELL-2", 1, "Chapel-initial"): dict(mttkrp=1999.0, sort=69.04, mat_ata=0.14, mat_norm=0.06, cpd_fit=0.01, inverse=0.39),
+    ("NELL-2", 32, "C"): dict(mttkrp=5.81, sort=0.63, mat_ata=0.24, mat_norm=0.02, cpd_fit=0.01, inverse=0.04),
+    ("NELL-2", 32, "Chapel-initial"): dict(mttkrp=88.3, sort=5.01, mat_ata=0.19, mat_norm=0.02, cpd_fit=0.01, inverse=0.39),
+}
+
+
+@experiment("table1")
+def table1(*, scale: float = BENCH_SCALE, measured: bool = False) -> ExperimentResult:
+    """Dataset properties: published vs generated stand-in."""
+    headers = ["Name", "Dims (paper)", "NNZ (paper)", "Density (paper)",
+               "Dims (generated)", "NNZ (gen)", "Density (gen)", "Disk (gen)"]
+    rows = []
+    for key, sig in DATASET_SIGNATURES.items():
+        t = bench_dataset(key, scale)
+        rows.append([
+            sig.name,
+            "x".join(f"{d//1000}k" for d in sig.dims),
+            f"{sig.nnz/1e6:.0f}M",
+            f"{sig.nnz / prod(sig.dims):.2E}",
+            "x".join(str(d) for d in t.dims),
+            t.nnz,
+            f"{t.density:.2E}",
+            human_bytes(t.size_on_disk),
+        ])
+    return ExperimentResult(
+        exp_id="table1",
+        title="Properties of data sets (paper Table I vs synthetic stand-ins)",
+        headers=headers,
+        rows=rows,
+        notes=["stand-ins use per-dataset bench shapes that preserve the paper's "
+               "lock-decision dichotomy at measured task counts (see DESIGN.md §2 "
+               "and repro.tensor.generate); paper-scale experiments use the "
+               "published dims/nnz via the performance model"],
+    )
+
+
+@experiment("table2")
+def table2(*, measured: bool = False) -> ExperimentResult:
+    """Environment: the paper's testbed vs this reproduction."""
+    rows = [
+        ["CPU", "2x E5-2697v4 Xeon Broadwell", platform.processor() or platform.machine()],
+        ["Cores", str(MACHINE.ncores), "simulated 36 (measured: host cores)"],
+        ["Language", "Chapel 1.16 / C + OpenMP 3.1", f"Python {platform.python_version()} + NumPy"],
+        ["Tasking", "Qthreads (default), fifo", "repro.runtime tasking layers (threading)"],
+        ["BLAS/LAPACK", "OpenBLAS 0.2.20 (syrk/potrf/potrs)", "scipy.linalg (syrk/cholesky)"],
+        ["Baseline", "SPLATT v2.0.0 (C)", "vectorized NumPy kernels"],
+        ["OMP_NUM_THREADS", "1 (Chapel runs)", "modeled via perfmodel.interference"],
+    ]
+    return ExperimentResult(
+        exp_id="table2",
+        title="Environment and system properties (paper Table II vs reproduction)",
+        headers=["Property", "Paper", "This reproduction"],
+        rows=rows,
+        notes=["paper-scale timings are produced by the calibrated performance model "
+               "(repro.perfmodel); see DESIGN.md §2 for the substitution table"],
+    )
+
+
+def _simulated_table3_rows() -> list[list]:
+    rows = []
+    for ds_key, label in (("yelp", "YELP"), ("nell-2", "NELL-2")):
+        stats = paper_scale_stats(ds_key)
+        for p in (1, 32):
+            for cfg_name, cfg in (
+                ("C", SimConfig.c_reference(p)),
+                ("Chapel-initial", SimConfig.chapel_initial(p)),
+            ):
+                run = simulate_cpals(stats, cfg)
+                paper = PAPER_TABLE3[(label, p, cfg_name)]
+                row = [label, p, cfg_name]
+                for r in ROUTINES:
+                    row.append(round(run.seconds[r], 3))
+                row.append(round(sum(paper.values()), 2))
+                rows.append(row)
+    return rows
+
+
+def _measured_table3_rows(scale: float, rank: int, iterations: int) -> list[list]:
+    rows = []
+    for ds_key, label in (("yelp", "YELP"), ("nell-2", "NELL-2")):
+        tensor = bench_dataset(ds_key, scale)
+        for cfg_name, opts in (
+            ("C(vectorized)", CpalsOptions(max_iterations=iterations, tolerance=0.0,
+                                           variant="vectorized", sort_variant="lexsort")),
+            ("Chapel-initial", CpalsOptions(max_iterations=iterations, tolerance=0.0,
+                                            variant="slicing", sort_variant="initial",
+                                            mutex_kind="sync")),
+        ):
+            result = cp_als(tensor, rank, opts)
+            row = [label, 1, cfg_name]
+            for r in ROUTINES:
+                row.append(round(result.timers.total(r), 4))
+            row.append("")
+            rows.append(row)
+    return rows
+
+
+@experiment("table3")
+def table3(
+    *,
+    measured: bool = False,
+    scale: float = BENCH_SCALE,
+    rank: int = 16,
+    iterations: int = 2,
+) -> ExperimentResult:
+    """Initial per-routine runtimes: C vs the naive Chapel port.
+
+    Simulated mode reproduces the paper's Table III at full scale;
+    measured mode wall-clocks the real kernels at bench scale (serial —
+    interpreted-kernel scaling is not meaningful under the GIL).
+    """
+    headers = ["Data set", "Tasks", "Code", *ROUTINES, "paper_total"]
+    if measured:
+        rows = _measured_table3_rows(scale, rank, iterations)
+        notes = [
+            f"measured wall-clock, scale={scale:g}, rank={rank}, iters={iterations}, 1 task",
+            "shape criterion: Chapel-initial MTTKRP and Sort are the dominant, "
+            "order-of-magnitude-slower routines, as in the paper",
+        ]
+    else:
+        rows = _simulated_table3_rows()
+        notes = [
+            "simulated at paper scale (20 iterations, rank 35)",
+            "paper anchors: YELP C 13.31/0.82 s; Chapel-initial 225.11/7.21 s "
+            "(MTTKRP/Sort, serial); NELL-2 C 109.25/7.90 s; Chapel-initial 1999/69 s",
+        ]
+    return ExperimentResult(
+        exp_id="table3",
+        title="Runtime in seconds for CP-ALS routines — initial results (paper Table III)",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,339 @@
+"""The ``repro`` command-line tool — SPLATT's CLI surface, reproduced.
+
+SPLATT ships a command-line front end (``splatt cpd``, ``splatt check``,
+``splatt stats``, ``splatt complete``); this module provides the same
+workflow over this library:
+
+========================  ==================================================
+``repro stats X.tns``      Table-I-style properties + per-mode structure
+                           (``--json`` for machine-readable output)
+``repro check X.tns``      validate a tensor file (``--verbose`` for the
+                           full report: duplicates, empty slices, skew)
+``repro cpd X.tns``        CP-ALS decomposition; writes factors (.npz or
+                           SPLATT layout), prints the paper's breakdown
+``repro tucker X.tns``     Tucker decomposition (HOOI)
+``repro complete X.tns``   tensor completion (ALS / SGD / CCD++)
+``repro compare A B``      factor match score between saved models
+``repro reorder X.tns Y``  locality relabeling (degree / random)
+``repro generate yelp Y``  write a Table I synthetic stand-in to disk
+========================  ==================================================
+
+Every subcommand accepts ``--help``.  The benchmark harness has its own
+entry point (``repro-bench`` / ``python -m repro.bench``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import human_bytes
+from repro.completion.driver import ALGORITHMS, CompletionOptions, complete
+from repro.core.cpals import cp_als
+from repro.core.model_io import save_kruskal_dir, save_kruskal_npz
+from repro.core.options import CpalsOptions, DEFAULT_ITERATIONS, DEFAULT_RANK
+from repro.runtime.env import ChapelEnv
+from repro.tensor.generate import DATASET_SIGNATURES, synthetic_dataset
+from repro.tensor.io import load_tns, save_tns
+from repro.tensor.stats import tensor_stats
+
+__all__ = ["main"]
+
+
+def _load(path: str):
+    tensor = load_tns(path)
+    dedup = tensor.deduplicate()
+    if dedup.nnz != tensor.nnz:
+        print(f"note: summed {tensor.nnz - dedup.nnz} duplicate coordinates")
+    return dedup
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_stats(args: argparse.Namespace) -> int:
+    tensor = _load(args.tensor)
+    st = tensor_stats(tensor)
+    if args.json:
+        import json
+
+        payload = {
+            "dims": list(tensor.dims),
+            "order": tensor.nmodes,
+            "nnz": tensor.nnz,
+            "density": tensor.density,
+            "modes": [
+                {
+                    "mode": ms.mode,
+                    "dim": ms.dim,
+                    "nonempty_slices": ms.nonempty_slices,
+                    "nfibers": ms.nfibers,
+                    "max_slice_nnz": ms.max_slice_nnz,
+                    "slice_imbalance": ms.slice_imbalance,
+                    "top_slice_share": ms.top_slice_share,
+                }
+                for ms in st.modes
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    dims = "x".join(str(d) for d in tensor.dims)
+    print(f"tensor:   {args.tensor}")
+    print(f"order:    {tensor.nmodes}")
+    print(f"dims:     {dims}")
+    print(f"nnz:      {tensor.nnz}")
+    print(f"density:  {tensor.density:.4E}")
+    print(f"size:     {human_bytes(tensor.size_on_disk)} (FROSTT text estimate)")
+    print()
+    print("per-mode structure:")
+    print(f"  {'mode':>4} {'dim':>8} {'nonempty':>9} {'fibers':>8} "
+          f"{'max-slice':>9} {'imbalance':>9} {'hub-share':>9}")
+    for ms in st.modes:
+        print(f"  {ms.mode:>4} {ms.dim:>8} {ms.nonempty_slices:>9} {ms.nfibers:>8} "
+              f"{ms.max_slice_nnz:>9} {ms.slice_imbalance:>9.2f} "
+              f"{ms.top_slice_share:>9.3f}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        tensor = load_tns(args.tensor)
+    except (ValueError, OSError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    if args.verbose:
+        from repro.tensor.validate import validate_tensor
+
+        report = validate_tensor(tensor)
+        print(report.render())
+        return 0 if report.ok else 1
+    dedup = tensor.deduplicate()
+    dupes = tensor.nnz - dedup.nnz
+    print(f"OK: order-{tensor.nmodes} tensor, dims "
+          f"{'x'.join(str(d) for d in tensor.dims)}, {tensor.nnz} nonzeros"
+          + (f" ({dupes} duplicate coordinates would be summed)" if dupes else ""))
+    return 0
+
+
+def _cmd_cpd(args: argparse.Namespace) -> int:
+    tensor = _load(args.tensor)
+    opts = CpalsOptions(
+        max_iterations=args.iterations,
+        tolerance=args.tolerance,
+        variant=args.variant,
+        allocation=args.allocation,
+        env=ChapelEnv(num_tasks=args.tasks),
+        seed=args.seed,
+    )
+    result = cp_als(tensor, args.rank, opts)
+    print(result.summary())
+    if args.output:
+        out = Path(args.output)
+        if args.splatt_format:
+            save_kruskal_dir(result.kruskal, out)
+            print(f"wrote SPLATT-layout model to {out}/")
+        else:
+            save_kruskal_npz(result.kruskal, out)
+            print(f"wrote model to {out if out.suffix else out.with_suffix('.npz')}")
+    return 0
+
+
+def _cmd_complete(args: argparse.Namespace) -> int:
+    tensor = _load(args.tensor)
+    opts = CompletionOptions(
+        algorithm=args.algorithm,
+        max_epochs=args.epochs,
+        regularization=args.regularization,
+        learn_rate=args.learn_rate,
+        validation_fraction=args.validation,
+        seed=args.seed,
+    )
+    result = complete(tensor, args.rank, opts)
+    print(f"algorithm: {result.algorithm}")
+    print(f"epochs:    {result.epochs} (best: {result.best_epoch}, "
+          f"converged: {result.converged})")
+    print(f"train RMSE: {result.final_train_rmse:.6f}")
+    if result.val_rmse:
+        print(f"val RMSE:   {min(result.val_rmse):.6f} (best)")
+    if args.output:
+        out = Path(args.output)
+        np.savez_compressed(
+            out, **{f"factor{m}": f for m, f in enumerate(result.factors)}
+        )
+        print(f"wrote model to {out if out.suffix else out.with_suffix('.npz')}")
+    return 0
+
+
+def _cmd_tucker(args: argparse.Namespace) -> int:
+    from repro.tucker import tucker_hooi
+
+    tensor = _load(args.tensor)
+    ranks = tuple(args.ranks)
+    if len(ranks) == 1:
+        ranks = ranks * tensor.nmodes
+    result = tucker_hooi(
+        tensor, ranks,
+        max_iterations=args.iterations,
+        tolerance=args.tolerance,
+        seed=args.seed,
+    )
+    print(f"fit = {result.fit:.6f} after {result.iterations} sweeps "
+          f"(converged: {result.converged})")
+    print(f"core: {'x'.join(str(r) for r in result.ranks)}  "
+          f"core norm = {float(np.linalg.norm(result.core)):.4f}")
+    if args.output:
+        out = Path(args.output)
+        np.savez_compressed(
+            out, core=result.core,
+            **{f"factor{m}": f for m, f in enumerate(result.factors)},
+        )
+        print(f"wrote model to {out if out.suffix else out.with_suffix('.npz')}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.fms import align_components, factor_match_score
+    from repro.core.model_io import load_kruskal_dir, load_kruskal_npz
+
+    def load(path: str):
+        p = Path(path)
+        return load_kruskal_dir(p) if p.is_dir() else load_kruskal_npz(p)
+
+    try:
+        a = load(args.model_a)
+        b = load(args.model_b)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        fms = factor_match_score(a, b)
+        fms_sub = factor_match_score(a, b, weight_penalty=False)
+        perm = align_components(a, b)
+    except ValueError as exc:
+        print(f"models are not comparable: {exc}", file=sys.stderr)
+        return 1
+    print(f"factor match score:      {fms:.4f}")
+    print(f"subspace-only FMS:       {fms_sub:.4f}")
+    print(f"component alignment:     {list(int(p) for p in perm)}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    tensor = synthetic_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    save_tns(tensor, args.output)
+    print(f"wrote {tensor.nnz} nonzeros "
+          f"({'x'.join(str(d) for d in tensor.dims)}) to {args.output}")
+    return 0
+
+
+def _cmd_reorder(args: argparse.Namespace) -> int:
+    from repro.tensor.reorder import reorder_tensor
+
+    tensor = _load(args.tensor)
+    out, perms = reorder_tensor(tensor, strategy=args.strategy, seed=args.seed)
+    save_tns(out, args.output)
+    print(f"wrote {args.strategy}-relabeled tensor to {args.output}")
+    if args.perms:
+        np.savez_compressed(
+            Path(args.perms), **{f"mode{m}": p for m, p in enumerate(perms)}
+        )
+        print(f"wrote relabeling maps (perm[new] = old) to {args.perms}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Sparse tensor decomposition toolbox "
+        "(SPLATT-in-Chapel reproduction)."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="tensor properties and per-mode structure")
+    p.add_argument("tensor", help="FROSTT .tns file")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("check", help="validate a tensor file")
+    p.add_argument("tensor")
+    p.add_argument("--verbose", "-v", action="store_true",
+                   help="full validation report (duplicates, empty slices, "
+                        "hub skew, conditioning)")
+    p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("cpd", help="CP-ALS decomposition")
+    p.add_argument("tensor")
+    p.add_argument("--rank", "-r", type=int, default=DEFAULT_RANK)
+    p.add_argument("--iterations", "-i", type=int, default=DEFAULT_ITERATIONS)
+    p.add_argument("--tolerance", type=float, default=1e-5)
+    p.add_argument("--tasks", "-t", type=int, default=1,
+                   help="Chapel-style task count")
+    p.add_argument("--variant", default="vectorized",
+                   choices=["vectorized", "pointer", "index2d", "slicing"])
+    p.add_argument("--allocation", default="two", choices=["one", "two", "all"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", "-o", help="write λ and factors as .npz")
+    p.add_argument("--splatt-format", action="store_true",
+                   help="write the model as a SPLATT-style directory "
+                        "(lambda.mat + mode<N>.mat) instead of .npz")
+    p.set_defaults(fn=_cmd_cpd)
+
+    p = sub.add_parser("complete", help="tensor completion (missing values)")
+    p.add_argument("tensor")
+    p.add_argument("--rank", "-r", type=int, default=10)
+    p.add_argument("--algorithm", "-a", default="als", choices=list(ALGORITHMS))
+    p.add_argument("--epochs", "-e", type=int, default=50)
+    p.add_argument("--regularization", type=float, default=1e-2)
+    p.add_argument("--learn-rate", type=float, default=1e-2)
+    p.add_argument("--validation", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", "-o", help="write factors as .npz")
+    p.set_defaults(fn=_cmd_complete)
+
+    p = sub.add_parser("tucker", help="Tucker decomposition (HOOI)")
+    p.add_argument("tensor")
+    p.add_argument("--ranks", "-r", type=int, nargs="+", default=[10],
+                   help="core ranks, one per mode (or one shared value)")
+    p.add_argument("--iterations", "-i", type=int, default=50)
+    p.add_argument("--tolerance", type=float, default=1e-5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", "-o", help="write core + factors as .npz")
+    p.set_defaults(fn=_cmd_tucker)
+
+    p = sub.add_parser("compare", help="factor match score between two saved models")
+    p.add_argument("model_a", help=".npz file or SPLATT-layout directory")
+    p.add_argument("model_b")
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("generate", help="write a Table I synthetic stand-in")
+    p.add_argument("dataset", choices=sorted(DATASET_SIGNATURES))
+    p.add_argument("output", help="destination .tns path")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("reorder", help="relabel mode indices for locality")
+    p.add_argument("tensor")
+    p.add_argument("output", help="destination .tns path")
+    p.add_argument("--strategy", default="degree",
+                   choices=["identity", "degree", "random"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--perms", help="also save the relabeling maps as .npz")
+    p.set_defaults(fn=_cmd_reorder)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro`` tool; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Tensor completion — CP with missing values (SPLATT's second workload).
+
+SPLATT "includes routines for computing least-squares CP, as well as
+constrained CP and CP with missing values (i.e., tensor completion)"
+(paper §III, citing Smith et al., *HPC Formulations of Optimization
+Algorithms for Tensor Completion*).  The paper ports only least-squares
+CP-ALS; this package implements the completion side of the toolbox so the
+reproduction covers the full SPLATT feature surface:
+
+* :func:`~repro.completion.als.als_step` — alternating least squares over
+  *observed entries only* (row-wise regularized normal equations);
+* :func:`~repro.completion.sgd.sgd_epoch` — stochastic gradient descent
+  with per-epoch permutation and decaying step size;
+* :func:`~repro.completion.ccd.ccd_epoch` — CCD++ rank-one coordinate
+  descent with residual maintenance;
+* :func:`~repro.completion.driver.complete` — the common driver: train/
+  validation split, epoch loop, convergence on validation RMSE.
+
+All solvers share :class:`~repro.completion.driver.CompletionModel` (a
+Kruskal model without the unit-column convention — completion keeps the
+magnitudes in the factors) and are exact NumPy implementations validated
+against finite-difference gradients and each other in the test suite.
+"""
+
+from repro.completion.als import als_step
+from repro.completion.ccd import ccd_epoch
+from repro.completion.driver import (
+    ALGORITHMS,
+    CompletionOptions,
+    CompletionResult,
+    complete,
+)
+from repro.completion.losses import predict_entries, rmse, squared_loss
+
+__all__ = [
+    "complete",
+    "CompletionOptions",
+    "CompletionResult",
+    "ALGORITHMS",
+    "als_step",
+    "ccd_epoch",
+    "sgd_epoch",
+    "predict_entries",
+    "rmse",
+    "squared_loss",
+]
+
+from repro.completion.sgd import sgd_epoch  # noqa: E402  (circular-free tail import)

@@ -1,0 +1,91 @@
+"""CCD++ — cyclic coordinate descent for tensor completion.
+
+CCD++ updates one rank-one component at a time: for component ``r`` and
+mode ``m``, with the residual ``ρ_x = v_x − ẑ_x`` maintained across
+updates, each scalar ``A^m[i, r]`` has the closed form
+
+    A^m[i, r] = Σ_{x ∈ Ω_i} ρ̂_x q_x / (λ + Σ_{x ∈ Ω_i} q_x²)
+
+where ``ρ̂`` is the residual with component ``r``'s old contribution added
+back and ``q_x = Π_{k≠m} A^k[i_k, r]`` is the component's other-mode
+product.  Every column update is one ``bincount`` pass over the nonzeros,
+so an epoch is ``O(R · N · nnz)`` with tiny constants — the memory-lean
+member of SPLATT's completion trio (no ``R×R`` systems, no ``I·R²``
+scratch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import VALUE_DTYPE
+from repro.completion.losses import residuals
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["ccd_epoch"]
+
+
+def ccd_epoch(
+    tensor: SparseTensor,
+    factors: list[np.ndarray],
+    *,
+    regularization: float = 1e-2,
+    residual: np.ndarray | None = None,
+) -> np.ndarray:
+    """One CCD++ epoch (every component, every mode), updating in place.
+
+    Parameters
+    ----------
+    residual:
+        The maintained ``v − ẑ`` vector from the previous epoch; computed
+        fresh when omitted.  The updated residual is returned — passing it
+        back in makes successive epochs ``O(nnz)`` cheaper and immune to
+        drift (it is recomputed exactly here either way).
+
+    Returns
+    -------
+    The up-to-date residual vector.
+    """
+    if regularization < 0:
+        raise ValueError("regularization must be >= 0")
+    coords = tensor.coords
+    nmodes = tensor.nmodes
+    rank = factors[0].shape[1]
+
+    if residual is None:
+        residual = residuals(coords, tensor.values, factors)
+    residual = np.asarray(residual, dtype=VALUE_DTYPE)
+
+    mode_rows = [coords[:, m] for m in range(nmodes)]
+
+    for r in range(rank):
+        # component r's per-entry contribution, then add it back
+        comp = np.ones(tensor.nnz, dtype=VALUE_DTYPE)
+        cols = [factors[m][:, r] for m in range(nmodes)]
+        for m in range(nmodes):
+            comp *= cols[m][mode_rows[m]]
+        rho = residual + comp
+
+        for m in range(nmodes):
+            # q = component product excluding mode m
+            q = np.ones(tensor.nnz, dtype=VALUE_DTYPE)
+            for k in range(nmodes):
+                if k != m:
+                    q *= cols[k][mode_rows[k]]
+            dim = tensor.dims[m]
+            numer = np.bincount(mode_rows[m], weights=rho * q, minlength=dim)
+            denom = np.bincount(mode_rows[m], weights=q * q, minlength=dim)
+            denom += regularization
+            # unobserved, unregularized rows have a 0/0 system; they stay 0
+            new_col = np.zeros(dim, dtype=VALUE_DTYPE)
+            np.divide(numer, denom, out=new_col, where=denom > 0)
+            factors[m][:, r] = new_col
+            cols[m] = new_col
+
+        # subtract the refreshed component from the residual
+        comp = np.ones(tensor.nnz, dtype=VALUE_DTYPE)
+        for m in range(nmodes):
+            comp *= cols[m][mode_rows[m]]
+        residual = rho - comp
+
+    return residual

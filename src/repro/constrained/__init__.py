@@ -1,0 +1,46 @@
+"""Constrained CP decomposition (SPLATT's ``constrained CP`` routines).
+
+The paper notes SPLATT "includes routines for computing least-squares CP,
+as well as constrained CP and CP with missing values" (§III).  This
+package implements the constrained side using the AO-ADMM formulation
+SPLATT adopts (Smith et al. / Huang, Sidiropoulos & Liavas): alternating
+optimization over modes, with each mode's regularized least-squares
+subproblem solved by ADMM against the constraint's proximal operator.
+
+Supported constraints (:mod:`repro.constrained.constraints`):
+
+* ``nonneg`` — non-negativity (projection onto the positive orthant), the
+  classic NCP used for parts-based/topic models;
+* ``l1`` — lasso sparsity (soft thresholding);
+* ``ridge`` — Tikhonov smoothing (closed form, no ADMM splitting needed);
+* ``none`` — plain least squares (reduces to CP-ALS's mode solve).
+
+The driver (:func:`~repro.constrained.cpd.constrained_cp_als`) reuses the
+CSF MTTKRP kernels, Gram caching and timers from the core pipeline, so a
+constrained run exercises the same substrate as the paper's CP-ALS.
+"""
+
+from repro.constrained.constraints import (
+    CONSTRAINTS,
+    Constraint,
+    LassoConstraint,
+    NonNegConstraint,
+    RidgeConstraint,
+    UnconstrainedConstraint,
+    make_constraint,
+)
+from repro.constrained.admm import admm_mode_solve
+from repro.constrained.cpd import ConstrainedResult, constrained_cp_als
+
+__all__ = [
+    "constrained_cp_als",
+    "ConstrainedResult",
+    "admm_mode_solve",
+    "Constraint",
+    "NonNegConstraint",
+    "LassoConstraint",
+    "RidgeConstraint",
+    "UnconstrainedConstraint",
+    "make_constraint",
+    "CONSTRAINTS",
+]

@@ -1,0 +1,138 @@
+"""Constraint/regularizer registry for constrained CP.
+
+Each constraint supplies the proximal operator the ADMM splitting needs:
+``prox(M, rho)`` solves ``argmin_A  g(A) + (rho/2)·‖A − M‖²`` for the
+constraint's penalty ``g``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Constraint",
+    "UnconstrainedConstraint",
+    "NonNegConstraint",
+    "LassoConstraint",
+    "RidgeConstraint",
+    "CONSTRAINTS",
+    "make_constraint",
+]
+
+
+class Constraint(ABC):
+    """A penalty ``g(A)`` with a proximal operator."""
+
+    #: Registry name.
+    name: str = ""
+
+    #: Whether the mode solve needs the ADMM splitting (closed-form
+    #: constraints set this False and are folded into the normal equations).
+    needs_admm: bool = True
+
+    @abstractmethod
+    def prox(self, m: np.ndarray, rho: float) -> np.ndarray:
+        """``argmin_A g(A) + (rho/2)‖A − M‖²``."""
+
+    @abstractmethod
+    def penalty(self, a: np.ndarray) -> float:
+        """``g(A)`` — used for objective reporting (∞ for violated hard
+        constraints)."""
+
+    def satisfied(self, a: np.ndarray, *, atol: float = 1e-9) -> bool:
+        """Whether a hard constraint holds (soft penalties return True)."""
+        return True
+
+
+@dataclass(frozen=True)
+class UnconstrainedConstraint(Constraint):
+    """Plain least squares: ``g ≡ 0``."""
+
+    name = "none"
+    needs_admm = False
+
+    def prox(self, m: np.ndarray, rho: float) -> np.ndarray:
+        return m
+
+    def penalty(self, a: np.ndarray) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class NonNegConstraint(Constraint):
+    """Non-negativity: indicator of the positive orthant; prox = clip."""
+
+    name = "nonneg"
+
+    def prox(self, m: np.ndarray, rho: float) -> np.ndarray:
+        return np.maximum(m, 0.0)
+
+    def penalty(self, a: np.ndarray) -> float:
+        return 0.0 if (a >= 0).all() else float("inf")
+
+    def satisfied(self, a: np.ndarray, *, atol: float = 1e-9) -> bool:
+        return bool((a >= -atol).all())
+
+
+@dataclass(frozen=True)
+class LassoConstraint(Constraint):
+    """ℓ₁ sparsity: ``g(A) = weight·‖A‖₁``; prox = soft threshold."""
+
+    weight: float = 0.1
+    name = "l1"
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("l1 weight must be >= 0")
+
+    def prox(self, m: np.ndarray, rho: float) -> np.ndarray:
+        thresh = self.weight / rho
+        return np.sign(m) * np.maximum(np.abs(m) - thresh, 0.0)
+
+    def penalty(self, a: np.ndarray) -> float:
+        return self.weight * float(np.abs(a).sum())
+
+
+@dataclass(frozen=True)
+class RidgeConstraint(Constraint):
+    """Tikhonov smoothing: ``g(A) = (weight/2)·‖A‖²`` — closed form.
+
+    Folded directly into the normal equations (``V + weight·I``), no ADMM
+    iterations needed.
+    """
+
+    weight: float = 0.1
+    name = "ridge"
+    needs_admm = False
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("ridge weight must be >= 0")
+
+    def prox(self, m: np.ndarray, rho: float) -> np.ndarray:
+        # prox of (w/2)||A||^2 at M with parameter rho
+        return m * (rho / (rho + self.weight))
+
+    def penalty(self, a: np.ndarray) -> float:
+        return 0.5 * self.weight * float((a * a).sum())
+
+
+CONSTRAINTS: tuple[str, ...] = ("none", "nonneg", "l1", "ridge")
+
+
+def make_constraint(spec: str | Constraint, *, weight: float = 0.1) -> Constraint:
+    """Build a constraint from a registry name (or pass one through)."""
+    if isinstance(spec, Constraint):
+        return spec
+    if spec == "none":
+        return UnconstrainedConstraint()
+    if spec == "nonneg":
+        return NonNegConstraint()
+    if spec == "l1":
+        return LassoConstraint(weight=weight)
+    if spec == "ridge":
+        return RidgeConstraint(weight=weight)
+    raise ValueError(f"unknown constraint {spec!r}; choose from {CONSTRAINTS}")

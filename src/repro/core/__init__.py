@@ -1,0 +1,33 @@
+"""CP-ALS — the paper's Algorithm 1, orchestrating every substrate.
+
+:func:`cp_als` runs alternating least squares over the CSF-backed MTTKRP
+kernels, timing each routine under the paper's six-way breakdown (MTTKRP,
+Inverse, Mat AᵀA, Mat norm, CPD fit, Sort).
+"""
+
+from repro.core.cpals import CpalsResult, cp_als
+from repro.core.kruskal import KruskalTensor
+from repro.core.multistart import MultiStartResult, cp_als_best_of
+from repro.core.model_io import (
+    load_kruskal_dir,
+    load_kruskal_npz,
+    save_kruskal_dir,
+    save_kruskal_npz,
+)
+from repro.core.options import CpalsOptions
+from repro.core.timers import ROUTINES, RoutineTimers
+
+__all__ = [
+    "cp_als",
+    "CpalsResult",
+    "CpalsOptions",
+    "KruskalTensor",
+    "RoutineTimers",
+    "ROUTINES",
+    "cp_als_best_of",
+    "MultiStartResult",
+    "save_kruskal_npz",
+    "load_kruskal_npz",
+    "save_kruskal_dir",
+    "load_kruskal_dir",
+]

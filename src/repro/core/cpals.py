@@ -1,0 +1,223 @@
+"""The CP-ALS driver (Algorithm 1 of the paper, SPLATT's ``cpd_als``).
+
+For each mode per iteration:
+
+1. ``V ← ∗_{m≠n} A^(m)ᵀA^(m)``           (Mat AᵀA, using cached Grams)
+2. ``M ← MTTKRP(X, A, n)``                (MTTKRP)
+3. ``A^(n) ← solve(M, V)``                (Inverse — potrf/potrs)
+4. normalize columns of ``A^(n)`` into λ  (Mat norm; 2-norm on the first
+   iteration, max-norm after, as SPLATT does)
+5. refresh the cached Gram of ``A^(n)``   (Mat AᵀA)
+
+After the last mode the fit is evaluated from the final MTTKRP (CPD fit)
+and the loop stops on convergence or the iteration cap.  The pre-processing
+sort + CSF construction is timed as the paper's ``Sort`` routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import VALUE_DTYPE, as_rng, check_rank
+from repro.core.kruskal import KruskalTensor
+from repro.core.options import CpalsOptions
+from repro.core.timers import RoutineTimers
+from repro.csf.build import build_csf_set
+from repro.linalg.ata import gram, hadamard_gram
+from repro.linalg.fit import calc_fit
+from repro.linalg.inverse import solve_normal_equations
+from repro.linalg.norms import normalize_columns
+from repro.mttkrp.variants import MttkrpInfo, mttkrp_csf
+from repro.runtime.accounting import CostCounters
+from repro.runtime.locks import make_mutex_pool
+from repro.runtime.tasking import make_tasking_layer
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["cp_als", "CpalsResult"]
+
+
+@dataclass
+class CpalsResult:
+    """Everything a CP-ALS run produced.
+
+    Attributes
+    ----------
+    kruskal:
+        The fitted model (λ and unit-column factors).
+    fits:
+        Fit after each completed iteration.
+    iterations:
+        Iterations actually executed.
+    converged:
+        True when the tolerance criterion stopped the loop.
+    timers:
+        Per-routine wall time, paper breakdown.
+    counters:
+        Synchronization events across the whole run.
+    mttkrp_infos:
+        One :class:`MttkrpInfo` per MTTKRP invocation, in execution order
+        (records algorithm, variant and whether locks were used).
+    """
+
+    kruskal: KruskalTensor
+    fits: list[float]
+    iterations: int
+    converged: bool
+    timers: RoutineTimers
+    counters: CostCounters
+    mttkrp_infos: list[MttkrpInfo] = field(default_factory=list)
+
+    @property
+    def fit(self) -> float:
+        """Final fit."""
+        return self.fits[-1] if self.fits else 0.0
+
+    def summary(self) -> str:
+        """Human-readable run report (what ``repro cpd`` prints)."""
+        from repro.core.timers import ROUTINE_LABELS, ROUTINES
+
+        lines = [
+            f"rank-{self.kruskal.rank} CP model of a "
+            f"{'x'.join(str(d) for d in self.kruskal.dims)} tensor",
+            f"fit = {self.fit:.6f} after {self.iterations} iterations "
+            f"(converged: {self.converged})",
+            "per-routine seconds:",
+        ]
+        for routine in ROUTINES:
+            lines.append(
+                f"  {ROUTINE_LABELS[routine]:10s} {self.timers.total(routine):.4f}"
+            )
+        locked = sorted({i.mode for i in self.mttkrp_infos if i.used_locks})
+        if locked:
+            lines.append(f"mutex-pool MTTKRP modes: {locked} "
+                         f"({self.counters.lock_acquires} acquires, "
+                         f"{self.counters.lock_contended} contended)")
+        else:
+            lines.append("no-lock MTTKRP for all modes")
+        return "\n".join(lines)
+
+
+def init_factors(
+    dims: tuple[int, ...], rank: int, seed: int | np.random.Generator | None
+) -> list[np.ndarray]:
+    """Random uniform factor initialization (SPLATT's ``mat_rand``)."""
+    rng = as_rng(seed)
+    return [np.asarray(rng.random((d, rank)), dtype=VALUE_DTYPE) for d in dims]
+
+
+def cp_als(
+    tensor: SparseTensor,
+    rank: int,
+    options: CpalsOptions | None = None,
+    *,
+    callback=None,
+) -> CpalsResult:
+    """Run CP-ALS on a sparse tensor.
+
+    Parameters
+    ----------
+    tensor:
+        Deduplicated COO tensor (order ≥ 2).
+    rank:
+        Decomposition rank ``R``.
+    options:
+        See :class:`CpalsOptions`; defaults reproduce the paper's setup
+        except for rank/iterations, which callers pass explicitly.
+    callback:
+        Optional per-iteration observer ``callback(iteration, fit,
+        factors)`` invoked after each completed ALS sweep (iteration is
+        1-based; factors are the live matrices — copy before storing).
+        Returning ``True`` stops the loop early (``converged`` stays
+        False).
+
+    Returns
+    -------
+    :class:`CpalsResult`
+
+    Notes
+    -----
+    The interpreted MTTKRP variants (``slicing``/``index2d``/``pointer``)
+    are 3rd-order only, as in the paper's port; ``vectorized`` (default)
+    supports any order ≥ 2.
+    """
+    rank = check_rank(rank)
+    if tensor.nmodes < 2:
+        raise ValueError("CP-ALS requires an order-2+ tensor")
+    if tensor.nnz == 0:
+        raise ValueError("cannot decompose an empty tensor")
+    opts = options if options is not None else CpalsOptions()
+
+    timers = RoutineTimers()
+    counters = CostCounters()
+    layer = make_tasking_layer(opts.env, counters)
+    pool = make_mutex_pool(opts.mutex_kind, size=opts.pool_size, env=opts.env, counters=counters)
+
+    # --- Sort: pre-processing sort + CSF construction (paper's Sort row) ---
+    with timers.time("sort"):
+        csf_set = build_csf_set(
+            tensor, allocation=opts.allocation, sort_variant=opts.sort_variant
+        )
+
+    factors = init_factors(tensor.dims, rank, opts.seed)
+    lam = np.ones(rank, dtype=VALUE_DTYPE)
+    nmodes = tensor.nmodes
+    xnorm2 = tensor.norm() ** 2
+
+    with timers.time("mat_ata"):
+        grams = [gram(f) for f in factors]
+
+    out_buffers = {m: np.zeros((tensor.dims[m], rank), dtype=VALUE_DTYPE) for m in range(nmodes)}
+    infos: list[MttkrpInfo] = []
+    fits: list[float] = []
+    converged = False
+    iterations = 0
+
+    for it in range(opts.max_iterations):
+        last_mttkrp: np.ndarray | None = None
+        for mode in range(nmodes):
+            with timers.time("mat_ata"):
+                v = hadamard_gram(factors, mode, grams=grams)
+            with timers.time("mttkrp"):
+                m_out, info = mttkrp_csf(
+                    csf_set,
+                    factors,
+                    mode,
+                    variant=opts.variant,
+                    layer=layer,
+                    pool=pool,
+                    force_locks=opts.force_locks,
+                    out=out_buffers[mode],
+                )
+            infos.append(info)
+            with timers.time("inverse"):
+                new_factor = solve_normal_equations(m_out, v)
+            with timers.time("mat_norm"):
+                normalize_columns(new_factor, which="2" if it == 0 else "max", out_lambda=lam)
+            factors[mode] = new_factor
+            with timers.time("mat_ata"):
+                grams[mode] = gram(new_factor)
+            last_mttkrp = m_out
+
+        assert last_mttkrp is not None
+        with timers.time("cpd_fit"):
+            fit = calc_fit(xnorm2, lam, factors, last_mttkrp, grams=grams)
+        fits.append(fit)
+        iterations = it + 1
+        if callback is not None and callback(iterations, fit, factors):
+            break
+        if opts.tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < opts.tolerance:
+            converged = True
+            break
+
+    kruskal = KruskalTensor(lam.copy(), [f.copy() for f in factors])
+    return CpalsResult(
+        kruskal=kruskal,
+        fits=fits,
+        iterations=iterations,
+        converged=converged,
+        timers=timers,
+        counters=counters,
+        mttkrp_infos=infos,
+    )

@@ -1,0 +1,105 @@
+"""Kruskal (CP) tensors: the ``λ, A^(1..N)`` output of CP-ALS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import VALUE_DTYPE, prod
+from repro.linalg.fit import kruskal_norm_squared
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["KruskalTensor"]
+
+
+@dataclass
+class KruskalTensor:
+    """A rank-``R`` Kruskal model ``Z = Σ_r λ_r · a_r ∘ b_r ∘ …``.
+
+    Attributes
+    ----------
+    weights:
+        ``(R,)`` component weights λ.
+    factors:
+        ``N`` factor matrices, ``factors[n]`` of shape ``(I_n, R)`` with
+        unit-normalized columns (CP-ALS maintains this).
+    """
+
+    weights: np.ndarray
+    factors: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        self.weights = np.ascontiguousarray(self.weights, dtype=VALUE_DTYPE)
+        self.factors = [np.ascontiguousarray(f, dtype=VALUE_DTYPE) for f in self.factors]
+        if self.weights.ndim != 1:
+            raise ValueError("weights must be 1-D")
+        rank = self.rank
+        for n, f in enumerate(self.factors):
+            if f.ndim != 2 or f.shape[1] != rank:
+                raise ValueError(f"factor {n} shape {f.shape} incompatible with rank {rank}")
+
+    @property
+    def rank(self) -> int:
+        """Number of rank-one components ``R``."""
+        return int(self.weights.shape[0])
+
+    @property
+    def nmodes(self) -> int:
+        """Tensor order ``N``."""
+        return len(self.factors)
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        """Mode lengths of the modeled tensor."""
+        return tuple(f.shape[0] for f in self.factors)
+
+    def norm(self) -> float:
+        """Frobenius norm ‖Z‖ computed from Grams (never densified)."""
+        return float(np.sqrt(kruskal_norm_squared(self.weights, self.factors)))
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full tensor (testing aid, O(prod(dims)·R))."""
+        if prod(self.dims) > 50_000_000:
+            raise MemoryError("refusing to densify a huge Kruskal tensor")
+        rank = self.rank
+        out = np.zeros(self.dims, dtype=VALUE_DTYPE)
+        for r in range(rank):
+            comp = self.weights[r]
+            outer = self.factors[0][:, r]
+            for f in self.factors[1:]:
+                outer = np.multiply.outer(outer, f[:, r])
+            out += comp * outer
+        return out
+
+    def predict(self, coords: np.ndarray) -> np.ndarray:
+        """Model values at the given ``(k, N)`` coordinates.
+
+        Used for completion-style evaluation and sparse residuals without
+        densifying.
+        """
+        coords = np.asarray(coords)
+        if coords.ndim != 2 or coords.shape[1] != self.nmodes:
+            raise ValueError(f"coords must be (k, {self.nmodes}), got {coords.shape}")
+        acc = np.broadcast_to(self.weights, (coords.shape[0], self.rank)).copy()
+        for n, f in enumerate(self.factors):
+            acc *= f[coords[:, n]]
+        return acc.sum(axis=1)
+
+    def fit_to(self, tensor: SparseTensor) -> float:
+        """Exact relative fit against a sparse tensor.
+
+        ``1 − ‖X − Z‖/‖X‖`` where the residual norm is expanded as
+        ``‖X‖² − 2⟨X,Z⟩ + ‖Z‖²``; ``⟨X,Z⟩`` needs only the model values at
+        the nonzero coordinates.
+        """
+        if tensor.dims != self.dims:
+            raise ValueError(f"tensor dims {tensor.dims} != model dims {self.dims}")
+        xnorm2 = tensor.norm() ** 2
+        znorm2 = kruskal_norm_squared(self.weights, self.factors)
+        inner = float(tensor.values @ self.predict(tensor.coords))
+        residual_sq = max(xnorm2 + znorm2 - 2.0 * inner, 0.0)
+        xnorm = float(np.sqrt(xnorm2))
+        if xnorm == 0.0:
+            return 1.0
+        return 1.0 - float(np.sqrt(residual_sq)) / xnorm

@@ -1,0 +1,80 @@
+"""Kruskal model persistence (SPLATT's factor-matrix output formats).
+
+SPLATT's ``cpd`` writes ``mode<N>.mat`` text matrices plus a ``lambda.mat``
+weight vector; we support that layout (one directory per model) and a
+single-file compressed ``.npz`` round-trip used by the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import VALUE_DTYPE
+from repro.core.kruskal import KruskalTensor
+
+__all__ = ["save_kruskal_npz", "load_kruskal_npz", "save_kruskal_dir", "load_kruskal_dir"]
+
+
+def save_kruskal_npz(model: KruskalTensor, path: str | os.PathLike) -> None:
+    """Write a model as one compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        weights=model.weights,
+        **{f"factor{m}": f for m, f in enumerate(model.factors)},
+    )
+
+
+def load_kruskal_npz(path: str | os.PathLike) -> KruskalTensor:
+    """Load a model written by :func:`save_kruskal_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        if "weights" not in data.files:
+            raise ValueError(f"{path}: not a Kruskal model (no 'weights')")
+        nmodes = sum(1 for name in data.files if name.startswith("factor"))
+        if nmodes == 0:
+            raise ValueError(f"{path}: no factor matrices found")
+        factors = []
+        for m in range(nmodes):
+            key = f"factor{m}"
+            if key not in data.files:
+                raise ValueError(f"{path}: missing {key} (non-contiguous modes)")
+            factors.append(np.asarray(data[key], dtype=VALUE_DTYPE))
+        return KruskalTensor(np.asarray(data["weights"], dtype=VALUE_DTYPE), factors)
+
+
+def save_kruskal_dir(model: KruskalTensor, directory: str | os.PathLike) -> None:
+    """Write SPLATT's text layout: ``mode<N>.mat`` + ``lambda.mat``.
+
+    Each ``.mat`` file is whitespace-separated text, one matrix row per
+    line — readable by SPLATT's own tooling and by ``numpy.loadtxt``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    np.savetxt(directory / "lambda.mat", model.weights[None, :], fmt="%.17g")
+    for m, factor in enumerate(model.factors):
+        np.savetxt(directory / f"mode{m + 1}.mat", factor, fmt="%.17g")
+
+
+def load_kruskal_dir(directory: str | os.PathLike) -> KruskalTensor:
+    """Load a model written by :func:`save_kruskal_dir`."""
+    directory = Path(directory)
+    lam_path = directory / "lambda.mat"
+    if not lam_path.exists():
+        raise ValueError(f"{directory}: no lambda.mat — not a SPLATT model directory")
+    weights = np.atleast_1d(np.loadtxt(lam_path, dtype=VALUE_DTYPE))
+    rank = weights.shape[0]
+    factors = []
+    mode = 1
+    while (directory / f"mode{mode}.mat").exists():
+        factor = np.loadtxt(directory / f"mode{mode}.mat", dtype=VALUE_DTYPE)
+        if factor.ndim == 1:
+            # loadtxt flattens single-column and single-row matrices; the
+            # rank (from lambda.mat) disambiguates the orientation
+            factor = factor.reshape(-1, 1) if rank == 1 else factor.reshape(1, -1)
+        factors.append(factor)
+        mode += 1
+    if not factors:
+        raise ValueError(f"{directory}: no mode<N>.mat factor files found")
+    return KruskalTensor(weights, factors)

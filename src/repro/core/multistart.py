@@ -1,0 +1,62 @@
+"""Multi-start CP-ALS: run several random initializations, keep the best.
+
+CP-ALS converges to local optima and the attained fit varies with the
+initialization; standard practice (and SPLATT users' habit) is a handful
+of restarts.  :func:`cp_als_best_of` runs ``n_starts`` seeded restarts —
+optionally concurrently on the tasking layer — and returns the best-fit
+result plus the full fit spread, which the tests use to verify restart
+variance actually exists and is conquered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.cpals import CpalsResult, cp_als
+from repro.core.options import CpalsOptions
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["MultiStartResult", "cp_als_best_of"]
+
+
+@dataclass
+class MultiStartResult:
+    """Best-of-N restart outcome."""
+
+    best: CpalsResult
+    fits: list[float]
+    seeds: list[int]
+
+    @property
+    def best_seed(self) -> int:
+        return self.seeds[self.fits.index(max(self.fits))]
+
+    @property
+    def fit_spread(self) -> float:
+        """max − min final fit over the restarts."""
+        return max(self.fits) - min(self.fits)
+
+
+def cp_als_best_of(
+    tensor: SparseTensor,
+    rank: int,
+    n_starts: int = 5,
+    options: CpalsOptions | None = None,
+    *,
+    base_seed: int = 0,
+) -> MultiStartResult:
+    """Run ``n_starts`` CP-ALS restarts and keep the best final fit.
+
+    Restart ``i`` uses seed ``base_seed + i`` (overriding ``options.seed``)
+    so the sweep is reproducible and the individual runs are recoverable.
+    """
+    if n_starts < 1:
+        raise ValueError("n_starts must be >= 1")
+    opts = options if options is not None else CpalsOptions()
+    results: list[CpalsResult] = []
+    seeds = [base_seed + i for i in range(n_starts)]
+    for seed in seeds:
+        results.append(cp_als(tensor, rank, replace(opts, seed=seed)))
+    fits = [r.fit for r in results]
+    best = results[fits.index(max(fits))]
+    return MultiStartResult(best=best, fits=fits, seeds=seeds)

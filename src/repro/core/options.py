@@ -1,0 +1,79 @@
+"""CP-ALS configuration (SPLATT's ``splatt_default_opts`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.csf.permute import CSF_ALLOCATIONS
+from repro.mttkrp.variants import ACCESS_VARIANTS
+from repro.runtime.env import ChapelEnv
+from repro.tensor.sort import SORT_VARIANTS
+
+__all__ = ["CpalsOptions", "DEFAULT_RANK", "DEFAULT_ITERATIONS"]
+
+#: The paper's experiments use rank 35 and 20 iterations throughout (§V-A).
+DEFAULT_RANK = 35
+DEFAULT_ITERATIONS = 20
+
+
+@dataclass
+class CpalsOptions:
+    """Everything configurable about a CP-ALS run.
+
+    Attributes
+    ----------
+    max_iterations:
+        ALS iteration cap (paper: 20).
+    tolerance:
+        Stop when the fit improves by less than this between iterations
+        (SPLATT's default 1e-5).  Set to 0 to always run
+        ``max_iterations`` — what the paper's timing runs do.
+    variant:
+        MTTKRP row-access variant (:data:`ACCESS_VARIANTS`).
+    sort_variant:
+        Pre-processing sort implementation (:data:`SORT_VARIANTS`).
+    allocation:
+        CSF allocation policy (:data:`CSF_ALLOCATIONS`).
+    env:
+        Runtime configuration (tasks, tasking layer, ...).
+    mutex_kind:
+        ``"atomic"`` or ``"sync"`` mutex pool for locked MTTKRP modes.
+    pool_size:
+        Mutex pool size.
+    force_locks:
+        Override the lock decision for non-root modes (``None`` = use
+        :func:`repro.mttkrp.locks_policy.needs_locks`).
+    seed:
+        Seed for the random factor initialization.
+    """
+
+    max_iterations: int = DEFAULT_ITERATIONS
+    tolerance: float = 1e-5
+    variant: str = "vectorized"
+    sort_variant: str = "lexsort"
+    allocation: str = "two"
+    env: ChapelEnv = field(default_factory=ChapelEnv)
+    mutex_kind: str = "atomic"
+    pool_size: int = 1024
+    force_locks: bool | None = None
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        if self.variant not in ACCESS_VARIANTS:
+            raise ValueError(f"unknown variant {self.variant!r}; choose from {ACCESS_VARIANTS}")
+        if self.sort_variant not in SORT_VARIANTS:
+            raise ValueError(
+                f"unknown sort_variant {self.sort_variant!r}; choose from {SORT_VARIANTS}"
+            )
+        if self.allocation not in CSF_ALLOCATIONS:
+            raise ValueError(
+                f"unknown allocation {self.allocation!r}; choose from {CSF_ALLOCATIONS}"
+            )
+        if self.mutex_kind not in ("atomic", "sync"):
+            raise ValueError("mutex_kind must be 'atomic' or 'sync'")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")

@@ -1,0 +1,26 @@
+"""Compressed Sparse Fiber (CSF) tensors — SPLATT's core data structure.
+
+A CSF stores a sorted sparse tensor as a forest of prefix trees: level 0
+holds the distinct indices of the root mode, level ``l`` the distinct
+``(root..mode_l)`` prefixes, and the leaves hold the nonzero values.  The
+MTTKRP kernels in :mod:`repro.mttkrp` walk these trees.
+
+The paper ports SPLATT v2.0.0's CSF including its mode-ordering policy
+(smallest dimension at the root) and its one/two/all-mode allocation
+schemes; mode *tiling* is intentionally omitted, as it was from the paper's
+port.
+"""
+
+from repro.csf.build import CsfSet, build_csf, build_csf_set
+from repro.csf.permute import CSF_ALLOCATIONS, MODE_ORDERINGS, mode_order
+from repro.csf.tree import CsfTensor
+
+__all__ = [
+    "CsfTensor",
+    "build_csf",
+    "build_csf_set",
+    "CsfSet",
+    "mode_order",
+    "MODE_ORDERINGS",
+    "CSF_ALLOCATIONS",
+]

@@ -1,0 +1,176 @@
+"""CSF construction from COO tensors (SPLATT's ``csf_alloc`` pipeline).
+
+Construction is: sort the nonzeros lexicographically in ``dim_perm`` order
+(:mod:`repro.tensor.sort`), then detect prefix boundaries level by level —
+a fully vectorized rendition of SPLATT's ``p_mk_fptr``/``p_mk_outerptr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE
+from repro.csf.permute import CSF_ALLOCATIONS, mode_order
+from repro.csf.tree import CsfTensor
+from repro.tensor.coo import SparseTensor
+from repro.tensor.sort import sort_tensor
+
+__all__ = ["build_csf", "build_csf_set", "CsfSet"]
+
+
+def build_csf(
+    tensor: SparseTensor,
+    dim_perm: tuple[int, ...] | None = None,
+    *,
+    sort_variant: str = "lexsort",
+) -> CsfTensor:
+    """Build one CSF tree for ``tensor`` with the given mode permutation.
+
+    Parameters
+    ----------
+    tensor:
+        Deduplicated COO tensor.
+    dim_perm:
+        Mode permutation (level → original mode).  Defaults to SPLATT's
+        smallest-mode-first policy.
+    sort_variant:
+        Which sort implementation performs the pre-processing sort (the
+        paper's Fig 1 ladder or the vectorized ``lexsort`` baseline).
+
+    Notes
+    -----
+    SPLATT sorts with the *output mode primary, rest ascending*; CSF
+    construction instead needs a full lexicographic sort in ``dim_perm``
+    order.  We therefore sort with a permuted view and un-permute after,
+    which is exactly what SPLATT's pointer-swap trick accomplishes.
+    """
+    if dim_perm is None:
+        dim_perm = mode_order(tensor.dims)
+    nmodes = tensor.nmodes
+    if sorted(dim_perm) != list(range(nmodes)):
+        raise ValueError(f"dim_perm {dim_perm} is not a permutation of 0..{nmodes - 1}")
+
+    # Sort nonzeros lexicographically in dim_perm order.  sort_tensor sorts
+    # (mode, then remaining ascending); permuting modes first makes its key
+    # order equal dim_perm, then we map columns back.
+    permuted = tensor.permute_modes(dim_perm)
+    sorted_perm = sort_tensor(permuted, 0, variant=sort_variant)
+
+    coords = sorted_perm.coords  # (nnz, N) in dim_perm level order
+    values = sorted_perm.values
+    nnz = tensor.nnz
+
+    fids: list[np.ndarray] = []
+    fptr: list[np.ndarray] = []
+    if nnz == 0:
+        for level in range(nmodes):
+            fids.append(np.empty(0, dtype=INDEX_DTYPE))
+            if level < nmodes - 1:
+                fptr.append(np.zeros(1, dtype=INDEX_DTYPE))
+        return CsfTensor(tensor.dims, tuple(dim_perm), fptr, fids, values)
+
+    # new_prefix[level][x] — nonzero x starts a new node at `level`
+    # (i.e. differs from its predecessor in any of modes 0..level).
+    new_prefix = np.zeros((nmodes, nnz), dtype=bool)
+    new_prefix[:, 0] = True
+    running = np.zeros(nnz - 1, dtype=bool)
+    for level in range(nmodes):
+        running |= coords[1:, level] != coords[:-1, level]
+        new_prefix[level, 1:] = running
+
+    # Node ids per level: cumulative count of starts.
+    for level in range(nmodes):
+        starts = np.flatnonzero(new_prefix[level])
+        fids.append(coords[starts, level].astype(INDEX_DTYPE))
+    # fptr[level][i] = index into level+1 nodes where node i's children begin.
+    for level in range(nmodes - 1):
+        starts = np.flatnonzero(new_prefix[level])
+        child_rank = np.cumsum(new_prefix[level + 1]) - 1  # node id at child level
+        ptr = np.empty(starts.size + 1, dtype=INDEX_DTYPE)
+        ptr[:-1] = child_rank[starts]
+        ptr[-1] = fids[level + 1].shape[0]
+        fptr.append(ptr)
+
+    return CsfTensor(tensor.dims, tuple(dim_perm), fptr, fids, values)
+
+
+@dataclass
+class CsfSet:
+    """A set of CSF trees covering all MTTKRP output modes.
+
+    Produced by :func:`build_csf_set`; consumed by
+    :func:`repro.mttkrp.mttkrp_csf`, which asks :meth:`tree_for_mode` which
+    tree to use for a given output mode and which algorithm (root /
+    internal / leaf) applies.
+    """
+
+    allocation: str
+    trees: list[CsfTensor]
+
+    @property
+    def nmodes(self) -> int:
+        return self.trees[0].nmodes
+
+    def memory_bytes(self) -> int:
+        """Total storage over all trees (the one/two/all trade-off number)."""
+        return sum(t.memory_bytes() for t in self.trees)
+
+    def tree_for_mode(self, mode: int) -> tuple[CsfTensor, str]:
+        """Select ``(tree, algorithm)`` for output mode ``mode``.
+
+        Follows SPLATT's dispatch: prefer a tree rooted at ``mode`` (root
+        algorithm); otherwise prefer one where ``mode`` is an internal
+        level; fall back to the leaf algorithm on the first tree.
+        """
+        for tree in self.trees:
+            if tree.dim_perm[0] == mode:
+                return tree, "root"
+        best: tuple[CsfTensor, str] | None = None
+        for tree in self.trees:
+            level = tree.level_of_mode(mode)
+            if level < tree.nmodes - 1:
+                return tree, "internal"
+            if best is None:
+                best = (tree, "leaf")
+        assert best is not None
+        return best
+
+
+def build_csf_set(
+    tensor: SparseTensor,
+    *,
+    allocation: str = "two",
+    ordering: str = "sorted_smallest",
+    sort_variant: str = "lexsort",
+) -> CsfSet:
+    """Build CSF tree(s) per the chosen allocation policy.
+
+    ``allocation`` is one of :data:`repro.csf.permute.CSF_ALLOCATIONS`:
+    ``"one"`` (single tree), ``"two"`` (SPLATT's default: smallest-rooted +
+    largest-rooted), or ``"all"`` (one per mode).
+    """
+    if allocation not in CSF_ALLOCATIONS:
+        raise ValueError(f"unknown allocation {allocation!r}; choose from {CSF_ALLOCATIONS}")
+    dims = tensor.dims
+    nmodes = tensor.nmodes
+    roots: list[int]
+    base = mode_order(dims, ordering=ordering)
+    if allocation == "one" or nmodes == 1:
+        roots = [base[0]]
+    elif allocation == "two":
+        smallest = base[0]
+        biggest = base[-1]
+        roots = [smallest] if biggest == smallest else [smallest, biggest]
+    else:  # all
+        roots = list(range(nmodes))
+    trees = [
+        build_csf(
+            tensor,
+            mode_order(dims, ordering=ordering, root=r),
+            sort_variant=sort_variant,
+        )
+        for r in roots
+    ]
+    return CsfSet(allocation=allocation, trees=trees)

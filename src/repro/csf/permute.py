@@ -1,0 +1,77 @@
+"""CSF mode-ordering and allocation policies (SPLATT's ``csf_find_mode_order``).
+
+Two orthogonal choices determine how many CSF trees exist and which modes
+root them:
+
+*Mode ordering* — given a root constraint, in what order do the remaining
+modes descend the tree?  SPLATT's default (``CSF_SORTED_SMALLEST``) sorts
+modes by length ascending so the root has the fewest slices, maximizing
+prefix sharing; ``CSF_SORTED_BIGGEST`` is the reverse and
+``CSF_INORDER`` keeps natural order.
+
+*Allocation* — how many trees to build:
+
+``one``   a single tree (smallest mode at root); other modes use the
+          internal/leaf MTTKRP algorithms.
+``two``   SPLATT's default: one tree rooted smallest + one rooted at the
+          *largest* mode (which is the most expensive to handle as a leaf).
+``all``   one tree per mode, each rooted at that mode (fastest, most
+          memory).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_axis
+
+__all__ = ["MODE_ORDERINGS", "CSF_ALLOCATIONS", "mode_order"]
+
+MODE_ORDERINGS: tuple[str, ...] = ("sorted_smallest", "sorted_biggest", "inorder")
+CSF_ALLOCATIONS: tuple[str, ...] = ("one", "two", "all")
+
+
+def mode_order(
+    dims: tuple[int, ...],
+    *,
+    ordering: str = "sorted_smallest",
+    root: int | None = None,
+) -> tuple[int, ...]:
+    """Choose a CSF mode permutation.
+
+    Parameters
+    ----------
+    dims:
+        Tensor mode lengths.
+    ordering:
+        One of :data:`MODE_ORDERINGS`.
+    root:
+        Force this original mode to level 0 (used by the ``all`` allocation,
+        which roots one tree at every mode); remaining modes still follow
+        ``ordering``.
+
+    Returns
+    -------
+    ``dim_perm`` — ``perm[level] = original mode``.
+
+    Notes
+    -----
+    Ties are broken by mode index, matching SPLATT's stable sort, so results
+    are deterministic.
+    """
+    nmodes = len(dims)
+    if ordering not in MODE_ORDERINGS:
+        raise ValueError(f"unknown ordering {ordering!r}; choose from {MODE_ORDERINGS}")
+    if ordering == "inorder":
+        order = list(range(nmodes))
+    else:
+        keys = np.asarray(dims, dtype=np.int64)
+        if ordering == "sorted_biggest":
+            keys = -keys
+        order = list(np.argsort(keys, kind="stable"))
+        order = [int(m) for m in order]
+    if root is not None:
+        root = check_axis(root, nmodes)
+        order.remove(root)
+        order.insert(0, root)
+    return tuple(order)

@@ -1,0 +1,114 @@
+"""CSF traversal API — structured walking of slices, fibers and nonzeros.
+
+The MTTKRP kernels index the CSF arrays directly for speed; downstream
+users writing custom kernels (or debugging a tree) want a readable
+traversal instead.  These generators expose the tree level by level with
+plain Python objects, matching the loop structure of SPLATT's reference
+kernels:
+
+    for s in iter_slices(csf):                       # level 0
+        for f in iter_fibers(csf, s):                # level 1
+            for idx, val in iter_leaves(csf, f):     # leaf level (order 3)
+                ...
+
+For arbitrary order, :func:`iter_children` walks any level, and
+:func:`walk_paths` yields complete root-to-leaf coordinate paths with
+values (the CSF's logical contents, used by the round-trip tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.csf.tree import CsfTensor
+
+__all__ = ["CsfNode", "iter_slices", "iter_fibers", "iter_leaves",
+           "iter_children", "walk_paths"]
+
+
+@dataclass(frozen=True)
+class CsfNode:
+    """One tree node: its level, position, and mode index.
+
+    ``position`` indexes the level's ``fids``/``fptr`` arrays; ``index`` is
+    the node's coordinate in mode ``csf.dim_perm[level]``.
+    """
+
+    level: int
+    position: int
+    index: int
+
+
+def iter_slices(csf: CsfTensor) -> Iterator[CsfNode]:
+    """Yield the root-level nodes (slices)."""
+    fids = csf.fids[0]
+    for pos in range(csf.nslices):
+        yield CsfNode(0, pos, int(fids[pos]))
+
+
+def iter_children(csf: CsfTensor, node: CsfNode) -> Iterator[CsfNode]:
+    """Yield a node's children at the next level.
+
+    Raises on leaf nodes (they have values, not children).
+    """
+    if node.level >= csf.nmodes - 1:
+        raise ValueError(f"level-{node.level} nodes are leaves; no children")
+    ptr = csf.fptr[node.level]
+    child_fids = csf.fids[node.level + 1]
+    for pos in range(int(ptr[node.position]), int(ptr[node.position + 1])):
+        yield CsfNode(node.level + 1, pos, int(child_fids[pos]))
+
+
+def iter_fibers(csf: CsfTensor, slice_node: CsfNode) -> Iterator[CsfNode]:
+    """Yield a root slice's level-1 fibers (3rd-order vocabulary)."""
+    if slice_node.level != 0:
+        raise ValueError("iter_fibers expects a root-level node")
+    return iter_children(csf, slice_node)
+
+
+def iter_leaves(csf: CsfTensor, node: CsfNode) -> Iterator[tuple[int, float]]:
+    """Yield ``(mode_index, value)`` for the leaves under a level-(N-2) node."""
+    if node.level != csf.nmodes - 2:
+        raise ValueError(
+            f"iter_leaves expects a level-{csf.nmodes - 2} node, got level {node.level}"
+        )
+    ptr = csf.fptr[node.level]
+    leaf_fids = csf.fids[node.level + 1]
+    values = csf.values
+    for pos in range(int(ptr[node.position]), int(ptr[node.position + 1])):
+        yield int(leaf_fids[pos]), float(values[pos])
+
+
+def walk_paths(csf: CsfTensor) -> Iterator[tuple[tuple[int, ...], float]]:
+    """Yield every nonzero as ``(coords_in_original_mode_order, value)``.
+
+    Depth-first over the tree; the logical inverse of CSF construction.
+    """
+    nmodes = csf.nmodes
+    inverse = np.empty(nmodes, dtype=np.int64)
+    for level, mode in enumerate(csf.dim_perm):
+        inverse[level] = mode
+
+    def descend(node: CsfNode, prefix: list[int]):
+        prefix.append(node.index)
+        if node.level == nmodes - 2:
+            for leaf_index, value in iter_leaves(csf, node):
+                path = prefix + [leaf_index]
+                coords = [0] * nmodes
+                for level, idx in enumerate(path):
+                    coords[int(inverse[level])] = idx
+                yield tuple(coords), value
+        else:
+            for child in iter_children(csf, node):
+                yield from descend(child, prefix)
+        prefix.pop()
+
+    if nmodes == 1:
+        for pos in range(csf.nnz):
+            yield (int(csf.fids[0][pos]),), float(csf.values[pos])
+        return
+    for root in iter_slices(csf):
+        yield from descend(root, [])

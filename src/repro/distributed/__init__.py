@@ -1,0 +1,36 @@
+"""Distributed-memory CP-ALS — the paper's future work, simulated.
+
+The paper closes with: *"We also plan to incorporate SPLATT's novel
+distributed-memory features for tensor decomposition in our code,
+leveraging Chapel's multi-locales."*  The referenced algorithm is Smith &
+Karypis's **medium-grained** decomposition (IPDPS 2016): an
+``ℓ₁ × ℓ₂ × ℓ₃`` Cartesian grid of processes, each owning the nonzeros of
+one sub-volume and a contiguous block of each factor's rows; every mode
+update is a local MTTKRP followed by a fold (reduce partial rows to their
+owners) and an expand (broadcast updated rows to the locales that need
+them).
+
+We have no cluster, so per DESIGN.md's substitution rule the *locales are
+simulated in-process*: each locale holds a real sub-tensor (its own CSF),
+computes real local MTTKRPs, and the fold/expand exchanges are performed
+(and metered) explicitly.  The result is numerically identical to serial
+CP-ALS — asserted in the tests — while
+:class:`~repro.distributed.comm.CommStats` records exactly the message
+counts and communication volumes the real algorithm would put on the wire,
+which is the quantity the medium-grained paper optimizes.
+"""
+
+from repro.distributed.comm import CommStats
+from repro.distributed.cpals import DistributedResult, distributed_cp_als
+from repro.distributed.grid import LocaleGrid, choose_grid
+from repro.distributed.partition import MediumGrainPartition, partition_medium_grain
+
+__all__ = [
+    "LocaleGrid",
+    "choose_grid",
+    "MediumGrainPartition",
+    "partition_medium_grain",
+    "CommStats",
+    "distributed_cp_als",
+    "DistributedResult",
+]

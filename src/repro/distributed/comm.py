@@ -1,0 +1,65 @@
+"""Communication metering for the simulated distributed CP-ALS.
+
+The medium-grained algorithm's per-mode-update traffic:
+
+* **fold** — every locale sends its partial MTTKRP rows to the rows'
+  owners inside its mode layer (reduce-scatter within the layer);
+* **expand** — owners broadcast the freshly solved rows back to the
+  locales whose sub-volumes touch them (allgather within the layer).
+
+:class:`CommStats` accumulates the messages and payload bytes those
+exchanges would put on a real interconnect, which is the quantity the
+medium-grained paper (and any grid-shape ablation) optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import VALUE_DTYPE
+
+__all__ = ["CommStats"]
+
+_BYTES_PER_VALUE = VALUE_DTYPE().itemsize  # 8
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication metrics for one distributed run."""
+
+    fold_rows: int = 0
+    expand_rows: int = 0
+    fold_messages: int = 0
+    expand_messages: int = 0
+    #: Per-mode breakdown: mode -> (fold_rows, expand_rows).
+    per_mode: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    def record_fold(self, mode: int, rows: int, messages: int) -> None:
+        self.fold_rows += rows
+        self.fold_messages += messages
+        f, e = self.per_mode.get(mode, (0, 0))
+        self.per_mode[mode] = (f + rows, e)
+
+    def record_expand(self, mode: int, rows: int, messages: int) -> None:
+        self.expand_rows += rows
+        self.expand_messages += messages
+        f, e = self.per_mode.get(mode, (0, 0))
+        self.per_mode[mode] = (f, e + rows)
+
+    def volume_bytes(self, rank: int) -> int:
+        """Total payload for a decomposition rank ``R`` (each exchanged row
+        is ``R`` doubles)."""
+        return (self.fold_rows + self.expand_rows) * rank * _BYTES_PER_VALUE
+
+    @property
+    def total_messages(self) -> int:
+        return self.fold_messages + self.expand_messages
+
+    def merge(self, other: "CommStats") -> None:
+        self.fold_rows += other.fold_rows
+        self.expand_rows += other.expand_rows
+        self.fold_messages += other.fold_messages
+        self.expand_messages += other.expand_messages
+        for mode, (f, e) in other.per_mode.items():
+            mf, me = self.per_mode.get(mode, (0, 0))
+            self.per_mode[mode] = (mf + f, me + e)

@@ -1,0 +1,184 @@
+"""Distributed CP-ALS over simulated locales (medium-grained algorithm).
+
+Executes the *real* algorithm — each locale owns a real sub-tensor with its
+own CSF set and computes real local MTTKRPs; the fold/expand exchanges are
+performed in-process and metered — so the numerics match serial CP-ALS
+while the communication behaviour matches the medium-grained paper's:
+
+per mode ``m`` update:
+
+1. **local MTTKRP** — every locale computes partials over its sub-volume;
+   by construction its touched mode-``m`` rows lie inside its own mode
+   layer's row block, so reduction never crosses layers.
+2. **fold** — partials reduce to the block (simulated by summing; metered
+   as each locale sending its touched-but-not-owned rows, reduce-scatter
+   message pattern within the layer).
+3. **solve + normalize** — the layer solves its row block against the
+   replicated ``R×R`` normal matrix (Gram replication is ``O(R²)`` and not
+   metered, as in the original).
+4. **expand** — updated rows broadcast back to the locales that touch
+   them (metered symmetrically).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import VALUE_DTYPE, as_rng, check_rank
+from repro.core.cpals import init_factors
+from repro.core.kruskal import KruskalTensor
+from repro.csf.build import build_csf_set
+from repro.distributed.comm import CommStats
+from repro.distributed.grid import LocaleGrid, choose_grid
+from repro.distributed.partition import MediumGrainPartition, partition_medium_grain
+from repro.linalg.ata import gram, hadamard_gram
+from repro.linalg.fit import calc_fit
+from repro.linalg.inverse import solve_normal_equations
+from repro.linalg.norms import normalize_columns
+from repro.mttkrp.variants import mttkrp_csf
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["DistributedResult", "distributed_cp_als"]
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of a simulated distributed CP-ALS run."""
+
+    kruskal: KruskalTensor
+    fits: list[float]
+    iterations: int
+    converged: bool
+    seconds: float
+    grid: LocaleGrid
+    partition: MediumGrainPartition
+    comm: CommStats
+
+    @property
+    def fit(self) -> float:
+        return self.fits[-1] if self.fits else 0.0
+
+
+def _touched_rows(sub: SparseTensor, mode: int) -> np.ndarray:
+    """Unique mode-``mode`` indices present in a locale's sub-tensor."""
+    if sub.nnz == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(sub.mode_indices(mode))
+
+
+def distributed_cp_als(
+    tensor: SparseTensor,
+    rank: int,
+    *,
+    nlocales: int = 4,
+    grid: LocaleGrid | None = None,
+    max_iterations: int = 20,
+    tolerance: float = 1e-5,
+    seed: int | None = 0,
+) -> DistributedResult:
+    """CP-ALS over a medium-grained locale decomposition.
+
+    Parameters
+    ----------
+    nlocales / grid:
+        Either a locale count (grid chosen by :func:`choose_grid`) or an
+        explicit :class:`LocaleGrid`.
+    Other parameters follow :func:`repro.core.cpals.cp_als`.
+
+    Returns
+    -------
+    :class:`DistributedResult`, whose ``comm`` field holds the metered
+    fold/expand traffic.  The fitted model matches serial CP-ALS to
+    floating-point reduction-order differences.
+    """
+    rank = check_rank(rank)
+    if tensor.nnz == 0:
+        raise ValueError("cannot decompose an empty tensor")
+    if grid is None:
+        grid = choose_grid(tensor.dims, nlocales)
+    part = partition_medium_grain(tensor, grid)
+    nmodes = tensor.nmodes
+
+    # Per-locale substrate: CSF sets (skip empty locales) + touched rows.
+    locale_csf = [
+        build_csf_set(sub) if sub.nnz else None for sub in part.locale_tensors
+    ]
+    touched = [
+        [_touched_rows(sub, m) for m in range(nmodes)]
+        for sub in part.locale_tensors
+    ]
+
+    comm = CommStats()
+    rng = as_rng(seed)
+    factors = init_factors(tensor.dims, rank, rng)
+    lam = np.ones(rank, dtype=VALUE_DTYPE)
+    grams = [gram(f) for f in factors]
+    xnorm2 = tensor.norm() ** 2
+
+    fits: list[float] = []
+    converged = False
+    iterations = 0
+    start = time.perf_counter()
+
+    for it in range(max_iterations):
+        last_mttkrp: np.ndarray | None = None
+        for mode in range(nmodes):
+            v = hadamard_gram(factors, mode, grams=grams)
+
+            # 1. local MTTKRPs + 2. fold (sum partials; meter the traffic)
+            m_global = np.zeros((tensor.dims[mode], rank), dtype=VALUE_DTYPE)
+            for lrank, csf_set in enumerate(locale_csf):
+                if csf_set is None:
+                    continue
+                m_local, _ = mttkrp_csf(csf_set, factors, mode)
+                m_global += m_local
+                rows = touched[lrank][mode]
+                layer = part.layer_of_index(mode, int(rows[0])) if rows.size else 0
+                lo, hi = part.row_block(mode, layer)
+                layer_size = len(grid.layer_ranks(mode, layer))
+                # within its layer each locale owns an even share of the block
+                own = (hi - lo) // max(layer_size, 1)
+                sent = max(int(rows.size) - own, 0)
+                comm.record_fold(mode, sent, max(layer_size - 1, 0))
+
+            # 3. solve + normalize (same sequence as serial CP-ALS)
+            new_factor = solve_normal_equations(m_global, v)
+            normalize_columns(new_factor, which="2" if it == 0 else "max", out_lambda=lam)
+            factors[mode] = new_factor
+            grams[mode] = gram(new_factor)
+
+            # 4. expand: touched-but-not-owned rows flow back out
+            for lrank, sub in enumerate(part.locale_tensors):
+                if sub.nnz == 0:
+                    continue
+                rows = touched[lrank][mode]
+                layer = part.layer_of_index(mode, int(rows[0]))
+                lo, hi = part.row_block(mode, layer)
+                layer_size = len(grid.layer_ranks(mode, layer))
+                own = (hi - lo) // max(layer_size, 1)
+                recv = max(int(rows.size) - own, 0)
+                comm.record_expand(mode, recv, max(layer_size - 1, 0))
+
+            last_mttkrp = m_global
+
+        assert last_mttkrp is not None
+        fits.append(calc_fit(xnorm2, lam, factors, last_mttkrp, grams=grams))
+        iterations = it + 1
+        if tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < tolerance:
+            converged = True
+            break
+
+    kruskal = KruskalTensor(lam.copy(), [f.copy() for f in factors])
+    return DistributedResult(
+        kruskal=kruskal,
+        fits=fits,
+        iterations=iterations,
+        converged=converged,
+        seconds=time.perf_counter() - start,
+        grid=grid,
+        partition=part,
+        comm=comm,
+    )

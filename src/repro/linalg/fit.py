@@ -1,0 +1,100 @@
+"""CP decomposition fit (the paper's ``CPD fit`` routine, line 13 of Alg. 1).
+
+SPLATT's ``p_calc_fit`` evaluates the relative fit
+
+    fit = 1 − √(‖X‖² + ‖Z‖² − 2⟨X, Z⟩) / ‖X‖
+
+without materializing the Kruskal tensor ``Z``:
+
+* ``‖Z‖² = λᵀ (∗_n A^(n)ᵀA^(n)) λ`` — Hadamard product over *all* Grams;
+* ``⟨X, Z⟩ = Σ_r λ_r Σ_i M[i,r]·A[i,r]`` where ``M`` is the last MTTKRP
+  output and ``A`` the matching (already updated, pre-normalization is
+  handled by λ) factor — the MTTKRP is thus reused, costing only an
+  elementwise pass.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import VALUE_DTYPE
+from repro.linalg.ata import gram
+
+__all__ = ["kruskal_norm_squared", "kruskal_inner", "calc_fit"]
+
+
+def kruskal_norm_squared(
+    weights: np.ndarray,
+    factors: Sequence[np.ndarray] | None = None,
+    *,
+    grams: Sequence[np.ndarray] | None = None,
+) -> float:
+    """``‖Z‖²`` of the Kruskal tensor ``Z = Σ_r λ_r a_r ∘ b_r ∘ …``.
+
+    Provide either the factor matrices or precomputed Grams.
+    """
+    lam = np.asarray(weights, dtype=VALUE_DTYPE)
+    if grams is None:
+        if factors is None:
+            raise ValueError("need factors or grams")
+        grams = [gram(f) for f in factors]
+    rank = lam.shape[0]
+    had = np.ones((rank, rank), dtype=VALUE_DTYPE)
+    for g in grams:
+        had *= g
+    return float(max(lam @ had @ lam, 0.0))
+
+
+def kruskal_inner(
+    weights: np.ndarray,
+    last_mttkrp: np.ndarray,
+    last_factor: np.ndarray,
+) -> float:
+    """``⟨X, Z⟩`` computed from the final-mode MTTKRP of the iteration."""
+    lam = np.asarray(weights, dtype=VALUE_DTYPE)
+    m = np.asarray(last_mttkrp, dtype=VALUE_DTYPE)
+    a = np.asarray(last_factor, dtype=VALUE_DTYPE)
+    if m.shape != a.shape:
+        raise ValueError(f"MTTKRP shape {m.shape} != factor shape {a.shape}")
+    per_col = np.einsum("ir,ir->r", m, a)
+    return float(lam @ per_col)
+
+
+def calc_fit(
+    x_norm_squared: float,
+    weights: np.ndarray,
+    factors: Sequence[np.ndarray],
+    last_mttkrp: np.ndarray,
+    *,
+    grams: Sequence[np.ndarray] | None = None,
+) -> float:
+    """Relative fit of the decomposition against the data tensor.
+
+    Parameters
+    ----------
+    x_norm_squared:
+        ``‖X‖²`` of the data tensor (computed once, up front).
+    weights, factors:
+        Current Kruskal model.
+    last_mttkrp:
+        The MTTKRP output for the *last* mode of the just-finished
+        iteration (reused, SPLATT-style, to get ``⟨X, Z⟩`` for free).
+    grams:
+        Optional cached Grams.
+
+    Returns
+    -------
+    ``fit ≤ 1``; 1 means exact reconstruction.  Guarded against tiny
+    negative residuals from floating-point cancellation.
+    """
+    if x_norm_squared < 0:
+        raise ValueError("x_norm_squared must be non-negative")
+    znorm2 = kruskal_norm_squared(weights, factors, grams=grams)
+    inner = kruskal_inner(weights, last_mttkrp, factors[-1])
+    residual_sq = max(x_norm_squared + znorm2 - 2.0 * inner, 0.0)
+    xnorm = float(np.sqrt(x_norm_squared))
+    if xnorm == 0.0:
+        return 1.0
+    return 1.0 - float(np.sqrt(residual_sq)) / xnorm

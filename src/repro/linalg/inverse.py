@@ -1,0 +1,70 @@
+"""Moore–Penrose inverse of the normal-equations matrix (paper's ``Inverse``).
+
+SPLATT's ``mat_solve_normals`` factorizes the ``R×R`` symmetric
+positive-semidefinite matrix ``V`` with LAPACK ``potrf`` (Cholesky) and
+applies ``potrs`` to solve ``A·V = M`` in place.  When ``V`` is singular
+(rank-deficient factors) it falls back to a pseudo-inverse; we mirror both
+paths using :mod:`scipy.linalg`.
+
+This is the routine at the center of the paper's §V-E: in the Chapel port it
+runs under OpenBLAS/OpenMP and suffers from Qthreads interference — modeled
+in :mod:`repro.perfmodel.interference`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+from repro._util import VALUE_DTYPE
+
+__all__ = ["pseudo_inverse_gram", "solve_normal_equations"]
+
+
+def _validate_square(mat: np.ndarray) -> np.ndarray:
+    v = np.asarray(mat, dtype=VALUE_DTYPE)
+    if v.ndim != 2 or v.shape[0] != v.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {v.shape}")
+    return v
+
+
+def pseudo_inverse_gram(v: np.ndarray, *, rcond: float = 1e-12) -> np.ndarray:
+    """Moore–Penrose inverse ``V†`` of a symmetric PSD matrix.
+
+    Tries Cholesky (``potrf`` + ``potrs`` against the identity, SPLATT's
+    fast path); on ``LinAlgError`` (singular ``V``) falls back to the
+    SVD-based pseudo-inverse, which is SPLATT's documented degenerate-rank
+    behaviour.
+    """
+    v = _validate_square(v)
+    try:
+        chol = sla.cho_factor(v, lower=False, check_finite=False)
+        return sla.cho_solve(chol, np.eye(v.shape[0], dtype=VALUE_DTYPE), check_finite=False)
+    except sla.LinAlgError:
+        return np.linalg.pinv(v, rcond=rcond, hermitian=True)
+
+
+def solve_normal_equations(mttkrp_result: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Solve ``A = M · V†`` for the new factor (lines 5/8/11 of Algorithm 1).
+
+    Parameters
+    ----------
+    mttkrp_result:
+        ``(I, R)`` MTTKRP output ``M = X_(n) (⊙ A)``.
+    v:
+        ``(R, R)`` Hadamard-of-Grams matrix.
+
+    Notes
+    -----
+    The Cholesky path solves ``Vᵀ Aᵀ = Mᵀ`` directly (one ``potrf`` + one
+    ``potrs``), never forming ``V†`` — the same operation count as SPLATT.
+    """
+    m = np.asarray(mttkrp_result, dtype=VALUE_DTYPE)
+    v = _validate_square(v)
+    if m.ndim != 2 or m.shape[1] != v.shape[0]:
+        raise ValueError(f"MTTKRP result shape {m.shape} incompatible with V {v.shape}")
+    try:
+        chol = sla.cho_factor(v, lower=False, check_finite=False)
+        return sla.cho_solve(chol, m.T, check_finite=False).T
+    except sla.LinAlgError:
+        return m @ np.linalg.pinv(v, hermitian=True)

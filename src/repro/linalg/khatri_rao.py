@@ -1,0 +1,45 @@
+"""Khatri-Rao (column-wise Kronecker) product.
+
+Used by the dense *reference* MTTKRP that every optimized kernel is tested
+against: ``M = X_(n) · (A^(m_k) ⊙ … ⊙ A^(m_1))`` where the Khatri-Rao runs
+over the non-target modes.  The column ordering here matches
+:meth:`repro.tensor.coo.SparseTensor.matricize` (lowest remaining mode
+varies fastest).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import VALUE_DTYPE
+
+__all__ = ["khatri_rao"]
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Khatri-Rao product of two or more ``(I_k, R)`` matrices.
+
+    The row index of the result enumerates the Cartesian product of the
+    input rows with the **last** matrix's row index varying fastest::
+
+        out[(((i1*I2 + i2)*I3 + i3)...), r] = Π_k  M_k[i_k, r]
+
+    To build the MTTKRP companion for output mode ``n`` under
+    :meth:`SparseTensor.matricize`'s convention (lowest remaining mode
+    fastest), pass the non-target factors in *descending* mode order.
+    """
+    mats = [np.asarray(m, dtype=VALUE_DTYPE) for m in matrices]
+    if not mats:
+        raise ValueError("need at least one matrix")
+    if any(m.ndim != 2 for m in mats):
+        raise ValueError("all inputs must be 2-D")
+    rank = mats[0].shape[1]
+    if any(m.shape[1] != rank for m in mats):
+        raise ValueError("all inputs must share the same column count")
+    out = mats[0]
+    for m in mats[1:]:
+        # (I, 1, R) * (1, J, R) -> (I, J, R) -> (I*J, R); J varies fastest.
+        out = (out[:, None, :] * m[None, :, :]).reshape(-1, rank)
+    return out

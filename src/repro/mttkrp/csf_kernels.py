@@ -1,0 +1,268 @@
+"""Vectorized CSF MTTKRP kernels (SPLATT's root / internal / leaf algorithms).
+
+These are the compiled-speed implementations standing in for SPLATT's C
+(DESIGN.md §2): every per-node loop is replaced by NumPy segment primitives
+(``np.add.reduceat`` going up the tree, ``np.repeat`` going down), so the
+interpreted overhead per nonzero is gone — exactly the role the C baseline
+plays in the paper's comparison.
+
+All kernels operate on a contiguous range ``[lo, hi)`` of root slices so
+they can serve as the per-task body of the parallel drivers at the bottom of
+this module:
+
+* root mode — tasks own disjoint output rows; no synchronization.
+* internal/leaf modes — output rows are shared; the driver either
+  *privatizes* (per-task buffer + reduction) or takes rows through the
+  *mutex pool*, per :func:`repro.mttkrp.locks_policy.needs_locks`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import VALUE_DTYPE
+from repro.csf.tree import CsfTensor
+from repro.mttkrp.partition import nnz_balanced_blocks
+from repro.runtime.locks import MutexPool
+from repro.runtime.reductions import array_reduce_buffers
+from repro.runtime.tasking import TaskingLayer
+
+__all__ = [
+    "root_range_vectorized",
+    "internal_range_vectorized",
+    "leaf_range_vectorized",
+    "run_root_parallel",
+    "run_scatter_privatized",
+    "run_scatter_mutex",
+]
+
+
+def _level_ranges(csf: CsfTensor, lo: int, hi: int) -> list[tuple[int, int]]:
+    """Node ranges per level covered by root slices ``[lo, hi)``."""
+    ranges = [(lo, hi)]
+    for level in range(csf.nmodes - 1):
+        lo, hi = int(csf.fptr[level][lo]), int(csf.fptr[level][hi])
+        ranges.append((lo, hi))
+    return ranges
+
+
+def _upward_product(
+    csf: CsfTensor,
+    factors: Sequence[np.ndarray],
+    ranges: list[tuple[int, int]],
+    stop_level: int,
+) -> np.ndarray:
+    """Bottom-up subtree accumulation down to (and excluding) ``stop_level``.
+
+    Returns ``W`` with one row per node of ``stop_level + 1`` already
+    multiplied by that level's factor rows, then segment-reduced so the
+    caller gets one row per node of ``stop_level`` *without* the
+    ``stop_level`` factor applied.
+    """
+    nmodes = csf.nmodes
+    leaf_lo, leaf_hi = ranges[nmodes - 1]
+    leaf_mode = csf.dim_perm[nmodes - 1]
+    w = csf.values[leaf_lo:leaf_hi, None] * factors[leaf_mode][csf.fids[nmodes - 1][leaf_lo:leaf_hi]]
+    for level in range(nmodes - 2, stop_level, -1):
+        nlo, nhi = ranges[level]
+        clo = ranges[level + 1][0]
+        starts = csf.fptr[level][nlo:nhi] - clo
+        w = np.add.reduceat(w, starts, axis=0)
+        mode = csf.dim_perm[level]
+        w *= factors[mode][csf.fids[level][nlo:nhi]]
+    # final reduction onto stop_level nodes (factor NOT applied)
+    nlo, nhi = ranges[stop_level]
+    clo = ranges[stop_level + 1][0]
+    starts = csf.fptr[stop_level][nlo:nhi] - clo
+    return np.add.reduceat(w, starts, axis=0)
+
+
+def _downward_product(
+    csf: CsfTensor,
+    factors: Sequence[np.ndarray],
+    ranges: list[tuple[int, int]],
+    stop_level: int,
+) -> np.ndarray:
+    """Top-down root-to-node row products, expanded to ``stop_level`` nodes.
+
+    The returned matrix has one row per node of ``stop_level`` and excludes
+    the ``stop_level`` factor itself.
+    """
+    lo, hi = ranges[0]
+    d = np.array(factors[csf.dim_perm[0]][csf.fids[0][lo:hi]], dtype=VALUE_DTYPE)
+    for level in range(1, stop_level + 1):
+        plo, phi = ranges[level - 1]
+        spans = np.diff(csf.fptr[level - 1][plo : phi + 1])
+        d = np.repeat(d, spans, axis=0)
+        if level < stop_level:
+            nlo, nhi = ranges[level]
+            d = d * factors[csf.dim_perm[level]][csf.fids[level][nlo:nhi]]
+    return d
+
+
+def root_range_vectorized(
+    csf: CsfTensor,
+    factors: Sequence[np.ndarray],
+    out: np.ndarray,
+    lo: int,
+    hi: int,
+) -> None:
+    """Root-mode MTTKRP over slices ``[lo, hi)``, accumulated into ``out``.
+
+    Output rows ``fids[0][lo:hi]`` are distinct, so concurrent calls on
+    disjoint slice ranges are race-free.
+    """
+    if hi <= lo:
+        return
+    ranges = _level_ranges(csf, lo, hi)
+    if csf.nmodes == 1:
+        np.add.at(out, csf.fids[0][lo:hi], csf.values[lo:hi, None])
+        return
+    w = _upward_product(csf, factors, ranges, stop_level=0)
+    out[csf.fids[0][lo:hi]] += w
+
+
+def leaf_range_vectorized(
+    csf: CsfTensor,
+    factors: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Leaf-mode MTTKRP contributions from slices ``[lo, hi)``.
+
+    Returns ``(rows, contribs)`` — the caller owns the scatter-add, because
+    leaf rows repeat across tasks and synchronization policy lives a level
+    up (privatize vs mutex).
+    """
+    nmodes = csf.nmodes
+    if nmodes < 2:
+        raise ValueError("leaf algorithm requires order >= 2")
+    if hi <= lo:
+        rank = factors[0].shape[1]
+        return np.empty(0, dtype=np.int64), np.empty((0, rank), dtype=VALUE_DTYPE)
+    ranges = _level_ranges(csf, lo, hi)
+    d = _downward_product(csf, factors, ranges, stop_level=nmodes - 1)
+    leaf_lo, leaf_hi = ranges[nmodes - 1]
+    rows = csf.fids[nmodes - 1][leaf_lo:leaf_hi]
+    contribs = csf.values[leaf_lo:leaf_hi, None] * d
+    return rows, contribs
+
+
+def internal_range_vectorized(
+    csf: CsfTensor,
+    factors: Sequence[np.ndarray],
+    level: int,
+    lo: int,
+    hi: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Internal-mode MTTKRP contributions for tree ``level`` (0<level<N-1).
+
+    Combines the downward product (modes above ``level``) with the upward
+    product (modes below) at each ``level`` node.  Returns
+    ``(rows, contribs)`` like :func:`leaf_range_vectorized`.
+    """
+    nmodes = csf.nmodes
+    if not 0 < level < nmodes - 1:
+        raise ValueError(f"internal level must be in (0, {nmodes - 1}), got {level}")
+    if hi <= lo:
+        rank = factors[0].shape[1]
+        return np.empty(0, dtype=np.int64), np.empty((0, rank), dtype=VALUE_DTYPE)
+    ranges = _level_ranges(csf, lo, hi)
+    d = _downward_product(csf, factors, ranges, stop_level=level)
+    u = _upward_product(csf, factors, ranges, stop_level=level)
+    nlo, nhi = ranges[level]
+    rows = csf.fids[level][nlo:nhi]
+    return rows, d * u
+
+
+# ----------------------------------------------------------------------
+# parallel drivers
+# ----------------------------------------------------------------------
+def run_root_parallel(
+    csf: CsfTensor,
+    factors: Sequence[np.ndarray],
+    out: np.ndarray,
+    layer: TaskingLayer,
+) -> None:
+    """Parallel root-mode MTTKRP: nnz-balanced slice blocks, no locks."""
+    ntasks = layer.env.num_tasks
+    bounds = nnz_balanced_blocks(csf, ntasks)
+
+    def task(tid: int) -> None:
+        root_range_vectorized(csf, factors, out, int(bounds[tid]), int(bounds[tid + 1]))
+
+    layer.coforall(ntasks, task)
+
+
+def run_scatter_privatized(
+    csf: CsfTensor,
+    factors: Sequence[np.ndarray],
+    out: np.ndarray,
+    layer: TaskingLayer,
+    compute_range,
+) -> None:
+    """Privatized parallel scatter: per-task buffers + reduction.
+
+    ``compute_range(lo, hi) -> (rows, contribs)`` is one of the
+    internal/leaf range kernels.  Each task scatter-adds into its own
+    ``out``-shaped buffer; buffers are combined by a row-blocked parallel
+    reduction (the reduction is ``O(ntasks · I · R)`` work and memory —
+    the cost SPLATT's privatization heuristic is guarding).
+    """
+    ntasks = layer.env.num_tasks
+    bounds = nnz_balanced_blocks(csf, ntasks)
+    if ntasks == 1:
+        rows, contribs = compute_range(int(bounds[0]), int(bounds[1]))
+        np.add.at(out, rows, contribs)
+        return
+    buffers = [np.zeros_like(out) for _ in range(ntasks)]
+
+    def task(tid: int) -> None:
+        rows, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]))
+        np.add.at(buffers[tid], rows, contribs)
+
+    layer.coforall(ntasks, task)
+    array_reduce_buffers(layer, out, buffers)
+
+
+def run_scatter_mutex(
+    csf: CsfTensor,
+    factors: Sequence[np.ndarray],
+    out: np.ndarray,
+    layer: TaskingLayer,
+    pool: MutexPool,
+    compute_range,
+) -> None:
+    """Mutex-pool parallel scatter: shared output, hashed row locks.
+
+    Each task groups its ``(rows, contribs)`` by lock bucket and performs
+    each bucket's scatter-add while holding that bucket's lock — the
+    vectorized rendition of SPLATT's lock-per-row update, preserving real
+    lock traffic and contention.
+    """
+    ntasks = layer.env.num_tasks
+    bounds = nnz_balanced_blocks(csf, ntasks)
+
+    def task(tid: int) -> None:
+        rows, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]))
+        if rows.size == 0:
+            return
+        buckets = rows % pool.size
+        order = np.argsort(buckets, kind="stable")
+        rows_sorted = rows[order]
+        contribs_sorted = contribs[order]
+        buckets_sorted = buckets[order]
+        starts = np.flatnonzero(np.diff(buckets_sorted)) + 1
+        starts = np.concatenate(([0], starts, [rows_sorted.size]))
+        for b in range(starts.size - 1):
+            s, e = int(starts[b]), int(starts[b + 1])
+            lid = int(buckets_sorted[s])
+            pool.acquire(lid)
+            try:
+                np.add.at(out, rows_sorted[s:e], contribs_sorted[s:e])
+            finally:
+                pool.release(lid)
+
+    layer.coforall(ntasks, task)

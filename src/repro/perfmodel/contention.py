@@ -1,0 +1,100 @@
+"""Mutex-pool cost model (the Fig 4 mechanism).
+
+The locked MTTKRP performs one lock acquire per output-row update — ``nnz``
+acquires for a leaf-mode kernel, ``nfibers`` for an internal-mode kernel.
+Three cost regimes, matching §V-D2:
+
+* **atomic** (any layer) and **sync under fifo** — contended acquires spin
+  briefly; cost per acquire is tens of nanoseconds.
+* **sync under Qthreads** — a contended acquire *sleeps* the task: a share
+  of contended acquires pays a full context switch, and hub locks form
+  wake-up convoys whose length grows with the task count and with the
+  duration of the row update held under the lock (slower access variants
+  hold locks longer, which is why the naive port's YELP scaling collapses
+  hardest in Table III).
+
+Contention probability is driven by the tensor's hub concentration:
+``P(held) = κ · top_slice_share · (p-1)²`` — quadratic in tasks because both
+the number of competing tasks and each lock's utilization grow with ``p``.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.calibration import CALIBRATION, Calibration
+from repro.perfmodel.machine import MACHINE, MachineModel
+
+__all__ = ["contention_probability", "lock_overhead_seconds"]
+
+
+def contention_probability(
+    ntasks: int,
+    top_slice_share: float,
+    cal: Calibration = CALIBRATION,
+) -> float:
+    """Probability that a lock acquire finds its lock held."""
+    if ntasks <= 1:
+        return 0.0
+    p = cal.contention_kappa * top_slice_share * (ntasks - 1) ** 2
+    return min(p, 1.0)
+
+
+def lock_overhead_seconds(
+    lock_ops: int,
+    ntasks: int,
+    top_slice_share: float,
+    *,
+    mutex_kind: str,
+    tasking_layer: str,
+    hold_time: float,
+    cal: Calibration = CALIBRATION,
+    machine: MachineModel = MACHINE,
+) -> float:
+    """Wall-clock overhead added by the mutex pool to one locked MTTKRP.
+
+    Parameters
+    ----------
+    lock_ops:
+        Total acquires across all tasks (``nnz`` or ``nfibers``).
+    ntasks:
+        Parallel task count (1 → zero overhead: locks are compiled away
+        serially).
+    top_slice_share:
+        Hub concentration of the output mode
+        (:attr:`repro.tensor.stats.ModeStats.top_slice_share`).
+    mutex_kind:
+        ``"atomic"``, ``"sync"`` or ``"c"`` (SPLATT's own pthread pool).
+    tasking_layer:
+        ``"qthreads"`` or ``"fifo"``.
+    hold_time:
+        Seconds the lock is held per acquire — one row update, i.e.
+        ``R × flop_time × variant_mult × 2``.
+    """
+    if ntasks <= 1 or lock_ops <= 0:
+        return 0.0
+    per_task_ops = lock_ops / ntasks
+    p_cont = contention_probability(ntasks, top_slice_share, cal)
+
+    if mutex_kind == "c":
+        base = cal.c_lock_base_cost
+        contended = p_cont * cal.c_lock_contended_cost
+        return per_task_ops * (base + contended)
+
+    if mutex_kind == "atomic":
+        base = cal.atomic_base_cost
+        contended = p_cont * cal.spin_contended_cost
+        return per_task_ops * (base + contended)
+
+    if mutex_kind != "sync":
+        raise ValueError(f"unknown mutex kind {mutex_kind!r}")
+
+    if tasking_layer == "fifo":
+        # fifo sync vars spin — "competitive with the Qthreads and atomic
+        # implementation" (Fig 4's FIFO-sync curve).
+        base = cal.fifo_sync_base_cost
+        contended = p_cont * cal.spin_contended_cost
+        return per_task_ops * (base + contended)
+
+    # sync under Qthreads: sleep + wake-up convoy.
+    sleep = cal.sync_sleep_share * machine.context_switch_time
+    convoy = cal.sync_convoy_factor * hold_time * ntasks
+    return per_task_ops * (cal.sync_base_cost + p_cont * (sleep + convoy))

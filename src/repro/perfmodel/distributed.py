@@ -1,0 +1,119 @@
+"""Projected distributed performance (the future-work figure).
+
+Combines the calibrated shared-memory MTTKRP model with a standard
+latency/bandwidth (α-β) network model to project what the paper's planned
+multi-locale port would do at paper scale:
+
+    T(ℓ) = T_mttkrp(36 cores)/ℓ  +  α·messages(ℓ)  +  β·volume(ℓ)
+
+Messages and volume come from the *measured* fold/expand traffic of the
+real simulated decomposition (:mod:`repro.distributed`), scaled from the
+bench stand-in to published nnz — so the projection's communication side
+is data-driven, not guessed.  Network constants default to a commodity
+InfiniBand-class fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.distributed.cpals import distributed_cp_als
+from repro.perfmodel.simulate import SimConfig, paper_scale_stats, simulate_cpals
+from repro.tensor.generate import DATASET_SIGNATURES, synthetic_dataset
+
+__all__ = [
+    "NetworkModel",
+    "DEFAULT_NETWORK",
+    "DistributedProjection",
+    "project_distributed",
+]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """α-β interconnect model."""
+
+    #: Per-message latency (seconds); ~1.5 µs for InfiniBand-class MPI.
+    alpha: float = 1.5e-6
+    #: Per-byte transfer time (seconds); ~10 GB/s effective bandwidth.
+    beta: float = 1.0e-10
+
+
+DEFAULT_NETWORK = NetworkModel()
+
+
+@dataclass(frozen=True)
+class DistributedProjection:
+    """One locale-count row of the projection."""
+
+    nlocales: int
+    grid: tuple[int, ...]
+    compute_seconds: float
+    comm_seconds: float
+    messages: int
+    volume_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+    @property
+    def comm_fraction(self) -> float:
+        t = self.total_seconds
+        return self.comm_seconds / t if t else 0.0
+
+
+@lru_cache(maxsize=None)
+def _measured_traffic(dataset: str, nlocales: int, rank: int, iterations: int):
+    """Real fold/expand traffic of the bench stand-in, per run."""
+    tensor = synthetic_dataset(dataset, seed=0)
+    result = distributed_cp_als(
+        tensor, rank, nlocales=nlocales, max_iterations=iterations, tolerance=0.0
+    )
+    return (
+        result.grid.shape,
+        result.comm.total_messages,
+        result.comm.fold_rows + result.comm.expand_rows,
+        tensor.nnz,
+    )
+
+
+def project_distributed(
+    dataset: str,
+    nlocales: int,
+    *,
+    rank: int = 35,
+    iterations: int = 20,
+    network: NetworkModel = DEFAULT_NETWORK,
+) -> DistributedProjection:
+    """Project one configuration's distributed runtime at paper scale.
+
+    Compute time is the calibrated 36-core C MTTKRP+solve time divided by
+    the locale count (each locale is one paper-grade node); communication
+    scales the stand-in's measured row traffic by the published/stand-in
+    *dimension* ratio — fold/expand exchanges move factor **rows**, so the
+    traffic surface grows with mode lengths, not with the nonzero count.
+    """
+    if nlocales < 1:
+        raise ValueError("nlocales must be >= 1")
+    stats = paper_scale_stats(dataset)
+    node_run = simulate_cpals(stats, SimConfig.c_reference(32),
+                              rank=rank, iterations=iterations)
+    compute = node_run.total / nlocales
+
+    grid, messages, rows, _bench_nnz = _measured_traffic(dataset, nlocales, 8, iterations)
+    sig = DATASET_SIGNATURES[dataset.lower()]
+    dim_ratios = [d / b for d, b in zip(sig.dims, sig.bench_dims)]
+    scale = sum(dim_ratios) / len(dim_ratios)
+    scaled_rows = rows * scale
+    volume = int(scaled_rows * rank * 8)
+    comm = network.alpha * messages + network.beta * volume
+    return DistributedProjection(
+        nlocales=nlocales,
+        grid=grid,
+        compute_seconds=compute,
+        comm_seconds=comm,
+        messages=messages,
+        volume_bytes=volume,
+    )

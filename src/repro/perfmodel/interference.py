@@ -1,0 +1,77 @@
+"""Qthreads × OpenMP interference model (§V-E).
+
+The matrix inverse is the one routine in the Chapel port that calls into
+OpenMP-parallel OpenBLAS.  The paper isolates three regimes at high thread
+counts:
+
+1. **Default Qthreads** (workers pinned, 300k-iteration spin-wait):
+   pinned spin-waiting workers steal cycles from the OpenMP threads — the
+   inverse becomes up to **15x slower than serial** at 32 threads.
+2. **QT_AFFINITY=no**: spin-waiting workers migrate out of the way — the
+   inverse reaches a **2x speedup over serial** (still ~10x slower than C).
+3. **QT_AFFINITY=no + QT_SPINCOUNT=300**: shorter spin-wait gives a
+   further **2.3x** (still ~4x slower than C at 32).
+
+Turning affinity off is not free: once the OpenMP region ends, migrated
+Qthreads workers must migrate back, and the *matrix normalization* routine
+that directly follows the inverse slows down **7-13x** at 32 tasks.
+
+All four anchor numbers come straight from §V-E; interpolation between 1
+and 32 threads is smooth in ``(threads-1)/31``.
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.calibration import CALIBRATION, Calibration
+
+__all__ = ["inverse_interference_factor", "norm_interference_factor"]
+
+
+def _ramp(threads: int, limit: int = 32) -> float:
+    """0 at 1 thread, 1 at ``limit``; quadratic (contention compounds)."""
+    if threads <= 1:
+        return 0.0
+    return min((threads - 1) / (limit - 1), 1.0) ** 2
+
+
+def inverse_interference_factor(
+    omp_threads: int,
+    *,
+    qt_affinity: bool,
+    qt_spincount: int,
+    cal: Calibration = CALIBRATION,
+) -> float:
+    """Multiplier on the *serial* Chapel inverse time.
+
+    1.0 at one OpenMP thread.  >1 means interference losses; <1 means the
+    OpenMP parallelism actually helps (only after both §V-E mitigations).
+    """
+    if omp_threads <= 1:
+        return 1.0
+    if qt_affinity:
+        # Regime 1: pinned spin-waiting workers fight the OpenMP threads.
+        return 1.0 + (cal.interference_peak_slowdown - 1.0) * _ramp(omp_threads)
+    # Regime 2: affinity off — approaches a 2x speedup at 32 threads.
+    speedup = 1.0 + (cal.affinity_no_speedup - 1.0) * _ramp(omp_threads)
+    if qt_spincount < cal.spincount_threshold:
+        # Regime 3: short spin-wait — a further 2.3x at full ramp.
+        speedup *= 1.0 + (cal.spincount_speedup - 1.0) * _ramp(omp_threads)
+    return 1.0 / speedup
+
+
+def norm_interference_factor(
+    ntasks: int,
+    *,
+    qt_affinity: bool,
+    omp_threads: int,
+    cal: Calibration = CALIBRATION,
+) -> float:
+    """Multiplier on the matrix-normalization time (§V-E's side effect).
+
+    Only bites when affinity is off *and* OpenMP threads were actually in
+    play (otherwise there is nothing to migrate around), growing to the
+    paper's ~10x midpoint at 32 tasks.
+    """
+    if qt_affinity or omp_threads <= 1:
+        return 1.0
+    return 1.0 + (cal.norm_affinity_penalty - 1.0) * _ramp(ntasks)

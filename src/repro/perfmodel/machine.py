@@ -1,0 +1,47 @@
+"""Hardware model of the paper's testbed (Table II).
+
+Dual-socket Intel Xeon E5-2697v4 (Broadwell), 36 cores @ 2.3 GHz, 45 MB
+last-level cache, 512 GB DDR4.  Only a handful of aggregate numbers matter
+to the routine models; they live here so every model shares one machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "MACHINE"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Aggregate machine parameters used by the cost models.
+
+    Attributes
+    ----------
+    ncores:
+        Physical cores (36 on the testbed; experiments sweep tasks 1..32).
+    frequency_hz:
+        Core clock.
+    flop_time:
+        Effective seconds per MTTKRP "element op" (one multiply-accumulate
+        on one rank-column element, *including* its share of memory traffic
+        for irregular sparse access).  Calibrated from Table III's C MTTKRP
+        rows: YELP 13.31 s / (20 iters × 3 modes × 8M nnz × R=35) ≈ 0.79 ns
+        and NELL-2 109.25 s / (20 × 3 × 77M × 35) ≈ 0.68 ns; we use their
+        geometric mean.
+    context_switch_time:
+        Cost of descheduling + rescheduling a task (the sync-variable sleep
+        path under Qthreads), order 5 µs on Linux.
+    spin_iteration_time:
+        Cost of one spin-wait loop iteration (test-and-set retry), a few ns.
+    """
+
+    ncores: int = 36
+    frequency_hz: float = 2.3e9
+    flop_time: float = 0.73e-9
+    context_switch_time: float = 5.0e-6
+    spin_iteration_time: float = 4.0e-9
+
+
+#: The paper's machine; every model imports this singleton.
+MACHINE = MachineModel()

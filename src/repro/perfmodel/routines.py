@@ -1,0 +1,167 @@
+"""Per-routine analytic time models.
+
+Each function returns seconds for the whole experiment configuration (the
+paper reports routine totals over 20 CP-ALS iterations).  Work terms are
+expressed in the units the calibration constants were derived in
+(:mod:`repro.perfmodel.calibration`): MTTKRP and sort scale with ``nnz``,
+the dense kernels with factor-matrix sizes ``ΣI·R^k``.
+
+Amdahl scaling is used throughout: ``T(p) = T(1)·((1-s)/p + s)`` with the
+calibrated serial fraction ``s`` — this reproduces the paper's "near linear
+scalability up to 32 cores" with the measured efficiency (~57-60% at 32).
+"""
+
+from __future__ import annotations
+
+from repro.perfmodel.calibration import CALIBRATION, Calibration
+from repro.perfmodel.interference import inverse_interference_factor, norm_interference_factor
+from repro.perfmodel.machine import MACHINE, MachineModel
+
+__all__ = [
+    "amdahl",
+    "mttkrp_compute_time",
+    "sort_time",
+    "inverse_time",
+    "ata_time",
+    "norm_time",
+    "fit_time",
+]
+
+#: Fibers-per-nonzero ratio used for internal-mode lock-op counts; typical
+#: of 3rd-order review/NLP tensors in CSF form (fiber term is otherwise
+#: folded into the calibrated element-op time).
+FIBER_RATIO = 0.6
+
+
+def amdahl(t1: float, ntasks: int, serial_fraction: float) -> float:
+    """``T(p)`` under Amdahl's law with serial fraction ``s``."""
+    if ntasks < 1:
+        raise ValueError("ntasks must be >= 1")
+    return t1 * ((1.0 - serial_fraction) / ntasks + serial_fraction)
+
+
+def mttkrp_compute_time(
+    nnz: int,
+    rank: int,
+    iterations: int,
+    nmodes: int,
+    ntasks: int,
+    *,
+    variant: str,
+    is_c: bool,
+    cal: Calibration = CALIBRATION,
+    machine: MachineModel = MACHINE,
+) -> float:
+    """Lock-free MTTKRP time for all modes over all iterations.
+
+    ``variant`` indexes :attr:`Calibration.mttkrp_variant_mult`; lock
+    overhead (when the configuration engages the mutex pool) is added
+    separately by the simulator via
+    :func:`repro.perfmodel.contention.lock_overhead_seconds`.
+    """
+    mult = cal.mttkrp_variant_mult[variant if not is_c else "c"]
+    t1 = iterations * nmodes * rank * nnz * machine.flop_time * mult
+    s = cal.mttkrp_serial_fraction_c if is_c else cal.mttkrp_serial_fraction_chapel
+    return amdahl(t1, ntasks, s)
+
+
+def sort_time(
+    nnz: int,
+    ntrees: int,
+    ntasks: int,
+    *,
+    variant: str,
+    is_c: bool,
+    cal: Calibration = CALIBRATION,
+) -> float:
+    """Pre-processing sort time (one counting+quick sort per CSF tree)."""
+    key = "lexsort" if is_c else variant
+    mult = cal.sort_variant_mult[key]
+    t1 = ntrees * nnz * cal.sort_cost_per_nnz * mult
+    return amdahl(t1, ntasks, cal.sort_serial_fraction[key])
+
+
+def inverse_time(
+    dims: tuple[int, ...],
+    rank: int,
+    iterations: int,
+    *,
+    is_c: bool,
+    omp_threads: int,
+    qt_affinity: bool,
+    qt_spincount: int,
+    cal: Calibration = CALIBRATION,
+) -> float:
+    """Moore–Penrose inverse (potrf + potrs applied to all mode solves).
+
+    The dominant potrs cost is ``2·I_n·R²`` per mode-solve.  The C code
+    scales with OpenMP threads at the calibrated efficiency; the Chapel
+    code pays the §V-E interference factor instead.
+    """
+    serial = iterations * sum(2 * d * rank * rank for d in dims) * cal.inverse_flop_time
+    if is_c:
+        if omp_threads > 1:
+            return serial / (cal.inverse_omp_efficiency * omp_threads)
+        return serial
+    chapel_serial = serial * cal.inverse_chapel_mult
+    factor = inverse_interference_factor(
+        omp_threads, qt_affinity=qt_affinity, qt_spincount=qt_spincount, cal=cal
+    )
+    return chapel_serial * factor
+
+
+def ata_time(
+    dims: tuple[int, ...],
+    rank: int,
+    iterations: int,
+    ntasks: int,
+    *,
+    is_c: bool,
+    cal: Calibration = CALIBRATION,
+) -> float:
+    """Gram computations (syrk), whose runtime *grows* with task count.
+
+    Table III shows AᵀA getting slower from 1 → 32 threads in both codes
+    (YELP C: 0.34 → 0.41 s): the syrk is tiny and the per-thread
+    parallel-region overhead dominates.  Modeled as a capped-speedup base
+    plus a linear per-task cost.
+    """
+    base = iterations * sum(d * rank * rank for d in dims) * cal.ata_flop_time
+    sync = cal.ata_sync_cost_c if is_c else cal.ata_sync_cost_chapel
+    return base / min(ntasks, 4) + sync * (ntasks - 1)
+
+
+def norm_time(
+    dims: tuple[int, ...],
+    rank: int,
+    iterations: int,
+    ntasks: int,
+    *,
+    is_c: bool,
+    qt_affinity: bool,
+    omp_threads: int,
+    cal: Calibration = CALIBRATION,
+) -> float:
+    """Column normalization; pays the §V-E migration penalty when
+    QT_AFFINITY=no put OpenMP threads in play."""
+    t1 = iterations * sum(dims) * rank * cal.norm_elem_time
+    s = 0.04 if is_c else 0.11
+    t = amdahl(t1, ntasks, s)
+    if not is_c:
+        t *= norm_interference_factor(
+            ntasks, qt_affinity=qt_affinity, omp_threads=omp_threads, cal=cal
+        )
+    return t
+
+
+def fit_time(
+    dims: tuple[int, ...],
+    rank: int,
+    iterations: int,
+    ntasks: int,
+    *,
+    cal: Calibration = CALIBRATION,
+) -> float:
+    """CPD fit: one elementwise pass over the last-mode MTTKRP output."""
+    t1 = iterations * dims[-1] * rank * cal.fit_elem_time
+    return amdahl(t1, ntasks, 0.2)

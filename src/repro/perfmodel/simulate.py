@@ -1,0 +1,263 @@
+"""Whole-CP-ALS simulation: the paper-scale experiment driver.
+
+:func:`simulate_cpals` composes the routine models into the paper's
+six-routine breakdown for a given dataset signature and runtime
+configuration.  The MTTKRP lock decision per mode mirrors the real
+dispatcher (:func:`repro.mttkrp.mttkrp_csf`): with the default two-tree CSF
+allocation the smallest- and largest-dimension modes run the lock-free root
+algorithm and the remaining mode(s) run internal-mode kernels whose lock
+usage follows :func:`repro.mttkrp.locks_policy.needs_locks`.
+
+Dataset statistics at paper scale come from :func:`paper_scale_stats`: the
+published dims/nnz (Table I) combined with hub-concentration measured on
+the scaled synthetic stand-in (power-law shares are scale-robust).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+
+from repro.core.timers import ROUTINES
+from repro.mttkrp.locks_policy import needs_locks
+from repro.perfmodel import routines as rt
+from repro.perfmodel.calibration import CALIBRATION, Calibration
+from repro.perfmodel.contention import lock_overhead_seconds
+from repro.perfmodel.machine import MACHINE
+from repro.runtime.env import DEFAULT_SPINCOUNT
+from repro.tensor.generate import DATASET_SIGNATURES, synthetic_dataset
+from repro.tensor.stats import tensor_stats
+
+__all__ = ["SimStats", "SimConfig", "SimulatedRun", "paper_scale_stats", "simulate_cpals"]
+
+
+@dataclass(frozen=True)
+class SimStats:
+    """The workload statistics the simulator needs."""
+
+    name: str
+    dims: tuple[int, ...]
+    nnz: int
+    #: Per-mode hub concentration (fraction of nonzeros in the top 1% of
+    #: slices), measured on real data.
+    top_slice_share: tuple[float, ...]
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.dims)
+
+
+@lru_cache(maxsize=None)
+def paper_scale_stats(name: str, *, scale: float = 1.0, seed: int = 0) -> SimStats:
+    """Published Table I dims/nnz + hub shares measured on the synthetic
+    stand-in generated at ``scale``."""
+    sig = DATASET_SIGNATURES[name.lower()]
+    tensor = synthetic_dataset(name, scale=scale, seed=seed)
+    stats = tensor_stats(tensor)
+    return SimStats(
+        name=sig.name,
+        dims=sig.dims,
+        nnz=sig.nnz,
+        top_slice_share=tuple(ms.top_slice_share for ms in stats.modes),
+    )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One simulated runtime configuration.
+
+    ``impl`` is ``"c"`` (the SPLATT reference) or ``"chapel"``.  The
+    remaining fields only matter for Chapel runs except ``ntasks`` and
+    ``omp_threads`` (the C code parallelizes everything with OpenMP, so its
+    ``omp_threads`` defaults to ``ntasks``; Chapel's defaults to 1 as in
+    the paper's final setup, §V-E).
+    """
+
+    impl: str = "chapel"
+    ntasks: int = 1
+    mttkrp_variant: str = "pointer"
+    sort_variant: str = "all_opts"
+    mutex_kind: str = "atomic"
+    tasking_layer: str = "qthreads"
+    omp_threads: int | None = None
+    qt_affinity: bool = True
+    qt_spincount: int = DEFAULT_SPINCOUNT
+    allocation: str = "two"
+    force_locks: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.impl not in ("c", "chapel"):
+            raise ValueError(f"impl must be 'c' or 'chapel', got {self.impl!r}")
+        if self.ntasks < 1:
+            raise ValueError("ntasks must be >= 1")
+
+    @property
+    def is_c(self) -> bool:
+        return self.impl == "c"
+
+    @property
+    def effective_omp_threads(self) -> int:
+        if self.omp_threads is not None:
+            return self.omp_threads
+        return self.ntasks if self.is_c else 1
+
+    # ---------------------------------------------------------- presets
+    @classmethod
+    def c_reference(cls, ntasks: int) -> "SimConfig":
+        """SPLATT's C/OpenMP code with ``OMP_NUM_THREADS = ntasks``."""
+        return cls(impl="c", ntasks=ntasks)
+
+    @classmethod
+    def chapel_initial(cls, ntasks: int) -> "SimConfig":
+        """The unoptimized port: slicing accesses, naive sort, sync mutexes."""
+        return cls(
+            impl="chapel",
+            ntasks=ntasks,
+            mttkrp_variant="slicing",
+            sort_variant="initial",
+            mutex_kind="sync",
+        )
+
+    @classmethod
+    def chapel_optimized(cls, ntasks: int) -> "SimConfig":
+        """The fully optimized port: pointers, sort fixes, atomic mutexes."""
+        return cls(
+            impl="chapel",
+            ntasks=ntasks,
+            mttkrp_variant="pointer",
+            sort_variant="all_opts",
+            mutex_kind="atomic",
+        )
+
+    def with_tasks(self, ntasks: int) -> "SimConfig":
+        return replace(self, ntasks=ntasks)
+
+
+@dataclass
+class SimulatedRun:
+    """Simulated per-routine seconds (paper breakdown) plus lock metadata."""
+
+    stats: SimStats
+    config: SimConfig
+    seconds: dict[str, float]
+    #: Modes whose MTTKRP used the mutex pool.
+    locked_modes: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def __getitem__(self, routine: str) -> float:
+        return self.seconds[routine]
+
+
+def _mode_algorithms(dims: tuple[int, ...], allocation: str) -> dict[int, str]:
+    """Which MTTKRP algorithm serves each output mode — mirrors
+    :meth:`repro.csf.build.CsfSet.tree_for_mode`."""
+    order = sorted(range(len(dims)), key=lambda m: (dims[m], m))
+    smallest, biggest = order[0], order[-1]
+    algos: dict[int, str] = {}
+    for mode in range(len(dims)):
+        if allocation == "all" or mode == smallest:
+            algos[mode] = "root"
+        elif allocation == "two" and mode == biggest:
+            algos[mode] = "root"
+        else:
+            # non-root modes sit at internal levels of the smallest-rooted
+            # tree for 3rd-order tensors (leaf only for the last level of a
+            # one-tree allocation, costed identically here).
+            algos[mode] = "internal"
+    return algos
+
+
+def _ntrees(nmodes: int, allocation: str) -> int:
+    if allocation == "one":
+        return 1
+    if allocation == "two":
+        return min(2, nmodes)
+    return nmodes
+
+
+def simulate_cpals(
+    stats: SimStats,
+    config: SimConfig,
+    *,
+    rank: int = 35,
+    iterations: int = 20,
+    cal: Calibration = CALIBRATION,
+) -> SimulatedRun:
+    """Simulate one full CP-ALS run (the paper's 20-iteration experiment).
+
+    Returns the six-routine breakdown in seconds.
+    """
+    dims = stats.dims
+    nmodes = stats.nmodes
+    p = config.ntasks
+    is_c = config.is_c
+    variant = "c" if is_c else config.mttkrp_variant
+
+    # ----------------------------------------------------------- MTTKRP
+    mttkrp = rt.mttkrp_compute_time(
+        stats.nnz, rank, iterations, nmodes, p,
+        variant=variant, is_c=is_c, cal=cal,
+    )
+    locked: list[int] = []
+    algos = _mode_algorithms(dims, config.allocation)
+    hold = rank * MACHINE.flop_time * cal.mttkrp_variant_mult[variant] * 2.0
+    for mode, algo in algos.items():
+        if algo == "root":
+            continue
+        if config.force_locks is None:
+            use = needs_locks(dims[mode], stats.nnz, p)
+        else:
+            use = config.force_locks and p > 1
+        if not use:
+            continue
+        locked.append(mode)
+        lock_ops = iterations * int(rt.FIBER_RATIO * stats.nnz)
+        # The C code keeps its own cheap pthread-spinlock pool; Chapel pays
+        # per its mutex kind and tasking layer.
+        mttkrp += lock_overhead_seconds(
+            lock_ops, p, stats.top_slice_share[mode],
+            mutex_kind="c" if is_c else config.mutex_kind,
+            tasking_layer="qthreads" if is_c else config.tasking_layer,
+            hold_time=hold, cal=cal,
+        )
+
+    # ------------------------------------------------------------- sort
+    sort = rt.sort_time(
+        stats.nnz, _ntrees(nmodes, config.allocation), p,
+        variant=config.sort_variant, is_c=is_c, cal=cal,
+    )
+
+    # ---------------------------------------------------------- inverse
+    inverse = rt.inverse_time(
+        dims, rank, iterations,
+        is_c=is_c,
+        omp_threads=config.effective_omp_threads,
+        qt_affinity=config.qt_affinity,
+        qt_spincount=config.qt_spincount,
+        cal=cal,
+    )
+
+    # ----------------------------------------------------- small kernels
+    ata = rt.ata_time(dims, rank, iterations, p, is_c=is_c, cal=cal)
+    norm = rt.norm_time(
+        dims, rank, iterations, p,
+        is_c=is_c,
+        qt_affinity=config.qt_affinity,
+        omp_threads=config.effective_omp_threads,
+        cal=cal,
+    )
+    fit = rt.fit_time(dims, rank, iterations, p, cal=cal)
+
+    seconds = {
+        "mttkrp": mttkrp,
+        "sort": sort,
+        "mat_ata": ata,
+        "mat_norm": norm,
+        "cpd_fit": fit,
+        "inverse": inverse,
+    }
+    assert set(seconds) == set(ROUTINES)
+    return SimulatedRun(stats=stats, config=config, seconds=seconds, locked_modes=tuple(locked))

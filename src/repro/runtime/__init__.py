@@ -1,0 +1,63 @@
+"""Chapel-runtime substrate: tasking layers, mutex pools, environment.
+
+The paper's performance story is as much about Chapel's *runtime* as about
+the algorithm: the Qthreads vs fifo tasking layers implement ``sync``
+variables differently (sleep-on-contention vs spin), worker pinning and the
+spin-wait interval interact badly with OpenBLAS's OpenMP threads, and the
+mutex pool built on ``sync`` vs ``atomic`` variables behaves very
+differently under short critical sections (Fig 4).
+
+This package reifies those mechanisms:
+
+* :class:`~repro.runtime.env.ChapelEnv` — the knobs the paper turns
+  (``CHPL_RT_NUM_THREADS_PER_LOCALE``, ``CHPL_TASKS``, ``QT_AFFINITY``,
+  ``QT_SPINCOUNT``, ``OMP_NUM_THREADS``).
+* :mod:`~repro.runtime.locks` — ``sync``- and ``atomic``-based mutex pools
+  with real thread-safe behaviour *and* contention instrumentation.
+* :mod:`~repro.runtime.tasking` — ``coforall``/``forall`` built on real
+  Python threads, parameterized by the tasking layer.
+"""
+
+from repro.runtime.accounting import CostCounters
+from repro.runtime.atomics import AtomicBool, AtomicInt, AtomicReal
+from repro.runtime.constructs import Barrier, TaskHandle, begin, cobegin
+from repro.runtime.env import ChapelEnv
+from repro.runtime.locks import AtomicLockPool, MutexPool, SyncLockPool, make_mutex_pool
+from repro.runtime.reductions import (
+    array_reduce_buffers,
+    max_reduce,
+    min_reduce,
+    reduce_blocks,
+    sum_reduce,
+)
+from repro.runtime.schedule import SCHEDULES, forall_scheduled
+from repro.runtime.syncvar import SyncVar
+from repro.runtime.tasking import FifoLayer, QthreadsLayer, TaskingLayer, make_tasking_layer
+
+__all__ = [
+    "ChapelEnv",
+    "MutexPool",
+    "AtomicLockPool",
+    "SyncLockPool",
+    "make_mutex_pool",
+    "SyncVar",
+    "TaskingLayer",
+    "QthreadsLayer",
+    "FifoLayer",
+    "make_tasking_layer",
+    "CostCounters",
+    "reduce_blocks",
+    "sum_reduce",
+    "max_reduce",
+    "min_reduce",
+    "array_reduce_buffers",
+    "forall_scheduled",
+    "SCHEDULES",
+    "AtomicInt",
+    "AtomicReal",
+    "AtomicBool",
+    "begin",
+    "cobegin",
+    "TaskHandle",
+    "Barrier",
+]

@@ -1,0 +1,107 @@
+"""Additional Chapel parallel constructs: ``begin``, ``cobegin``, barriers.
+
+The paper's §II describes Chapel programs creating tasks "explicitly or
+implicitly"; beyond ``coforall``/``forall`` (in
+:mod:`repro.runtime.tasking`), Chapel's task toolbox includes:
+
+* ``begin stmt`` — fire an asynchronous task; the parent continues
+  immediately.  :func:`begin` returns a :class:`TaskHandle` whose
+  :meth:`~TaskHandle.wait` retrieves the result (or re-raises).
+* ``cobegin { s1; s2; … }`` — run a fixed set of *different* statements
+  concurrently and join them all.  :func:`cobegin` takes a list of
+  callables and returns their results in order.
+* ``Barrier(n)`` — Chapel's ``Barriers`` module: ``n`` tasks rendezvous at
+  :meth:`Barrier.barrier`.  Reusable across phases.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+__all__ = ["TaskHandle", "begin", "cobegin", "Barrier"]
+
+
+class TaskHandle:
+    """Handle to a ``begin``-spawned task."""
+
+    def __init__(self, fn: Callable[[], Any]):
+        self._result: Any = None
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+
+        def run() -> None:
+            try:
+                self._result = fn()
+            except BaseException as exc:  # noqa: BLE001 - re-raised in wait()
+                self._error = exc
+            finally:
+                self._done.set()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+
+    def done(self) -> bool:
+        """Non-blocking completion check."""
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Join the task; return its result or re-raise its exception."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("begin task did not finish in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+def begin(fn: Callable[[], Any]) -> TaskHandle:
+    """Chapel ``begin``: run ``fn`` asynchronously, return a handle."""
+    return TaskHandle(fn)
+
+
+def cobegin(fns: Sequence[Callable[[], Any]]) -> list[Any]:
+    """Chapel ``cobegin``: run the callables concurrently, join them all.
+
+    Results return in input order; the first exception (in input order)
+    re-raises after every task has finished.
+    """
+    if not fns:
+        return []
+    handles = [begin(fn) for fn in fns]
+    results: list[Any] = []
+    first_error: BaseException | None = None
+    for h in handles:
+        try:
+            results.append(h.wait())
+        except BaseException as exc:  # noqa: BLE001
+            if first_error is None:
+                first_error = exc
+            results.append(None)
+    if first_error is not None:
+        raise first_error
+    return results
+
+
+class Barrier:
+    """A reusable task barrier (Chapel's ``Barriers.Barrier``).
+
+    ``n`` participants call :meth:`barrier`; all block until the ``n``-th
+    arrives, then all proceed.  Reusable for successive phases.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("barrier needs >= 1 participants")
+        self._barrier = threading.Barrier(n)
+
+    @property
+    def n(self) -> int:
+        return self._barrier.parties
+
+    def barrier(self, timeout: float | None = None) -> None:
+        """Rendezvous point (Chapel's method name)."""
+        self._barrier.wait(timeout)
+
+    def reset(self) -> None:
+        """Abort waiters and reset (Chapel ``reset``)."""
+        self._barrier.reset()

@@ -1,0 +1,100 @@
+"""Execution-environment configuration (the paper's Table II knobs).
+
+Collects every runtime variable the paper manipulates into one validated
+dataclass.  The same object drives both *real* execution (thread counts for
+the tasking layer) and *simulated* execution (the performance model reads
+the layer, affinity and spincount to decide lock and interference costs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+__all__ = ["ChapelEnv", "TASKING_LAYERS", "DEFAULT_SPINCOUNT"]
+
+TASKING_LAYERS: tuple[str, ...] = ("qthreads", "fifo")
+
+#: Qthreads' default spin-wait iterations before a worker suspends; the
+#: paper reduces this to 300 via ``QT_SPINCOUNT`` to tame OpenMP conflicts.
+DEFAULT_SPINCOUNT = 300_000
+
+
+@dataclass(frozen=True)
+class ChapelEnv:
+    """A Chapel runtime configuration.
+
+    Attributes
+    ----------
+    num_tasks:
+        Tasks created by ``coforall`` loops — the paper's user-level config
+        variable, swept 1..32.
+    tasking_layer:
+        ``"qthreads"`` (Chapel default) or ``"fifo"`` (POSIX threads).
+        Determines ``sync``-variable behaviour: Qthreads sleeps a task
+        blocked on a sync var, fifo spins.
+    qt_affinity:
+        Qthreads worker pinning (``QT_AFFINITY``).  ``True`` is the
+        Qthreads default; the paper sets ``no`` to let spin-waiting workers
+        migrate away from OpenMP threads.
+    qt_spincount:
+        Spin-wait iterations before a Qthreads worker suspends
+        (``QT_SPINCOUNT``).
+    omp_num_threads:
+        OpenMP threads available to OpenBLAS inside the inverse routine
+        (``OMP_NUM_THREADS``); the paper pins this to 1 for Chapel runs.
+    """
+
+    num_tasks: int = 1
+    tasking_layer: str = "qthreads"
+    qt_affinity: bool = True
+    qt_spincount: int = DEFAULT_SPINCOUNT
+    omp_num_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError(f"num_tasks must be >= 1, got {self.num_tasks}")
+        if self.tasking_layer not in TASKING_LAYERS:
+            raise ValueError(
+                f"unknown tasking layer {self.tasking_layer!r}; choose from {TASKING_LAYERS}"
+            )
+        if self.qt_spincount < 0:
+            raise ValueError("qt_spincount must be >= 0")
+        if self.omp_num_threads < 1:
+            raise ValueError("omp_num_threads must be >= 1")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_environ(cls, environ: dict[str, str] | None = None) -> "ChapelEnv":
+        """Build from environment variables, using Chapel/Qthreads names.
+
+        Recognized: ``CHPL_RT_NUM_THREADS_PER_LOCALE``, ``CHPL_TASKS``,
+        ``QT_AFFINITY`` (``yes``/``no``), ``QT_SPINCOUNT``,
+        ``OMP_NUM_THREADS``.  Unset variables keep the defaults.
+        """
+        env = os.environ if environ is None else environ
+        kwargs: dict = {}
+        if "CHPL_RT_NUM_THREADS_PER_LOCALE" in env:
+            kwargs["num_tasks"] = int(env["CHPL_RT_NUM_THREADS_PER_LOCALE"])
+        if "CHPL_TASKS" in env:
+            kwargs["tasking_layer"] = env["CHPL_TASKS"].lower()
+        if "QT_AFFINITY" in env:
+            kwargs["qt_affinity"] = env["QT_AFFINITY"].lower() not in ("no", "0", "false")
+        if "QT_SPINCOUNT" in env:
+            kwargs["qt_spincount"] = int(env["QT_SPINCOUNT"])
+        if "OMP_NUM_THREADS" in env:
+            kwargs["omp_num_threads"] = int(env["OMP_NUM_THREADS"])
+        return cls(**kwargs)
+
+    def with_tasks(self, num_tasks: int) -> "ChapelEnv":
+        """Copy of this env with a different task count (sweep helper)."""
+        return replace(self, num_tasks=num_tasks)
+
+    @property
+    def sync_vars_sleep(self) -> bool:
+        """Whether a task blocked on a ``sync`` var is descheduled (slept).
+
+        True under Qthreads — the root cause of Fig 4's sync-variable
+        collapse for short critical sections; fifo spins instead.
+        """
+        return self.tasking_layer == "qthreads"

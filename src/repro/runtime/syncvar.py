@@ -1,0 +1,160 @@
+"""Chapel ``sync`` variables — full/empty semantics (paper §II, §IV-A).
+
+A ``sync`` variable couples a value with a *full/empty* state: reads block
+until full and leave the variable empty; writes block until empty and
+leave it full.  The paper's mutex pool is literally an array of
+``sync bool`` (initialized full; acquire = read, release = write), and the
+performance pathology of Fig 4 comes from how the tasking layer implements
+the blocking: Qthreads *sleeps* a blocked task, fifo *spins*.
+
+:class:`SyncVar` implements the complete Chapel access-method family:
+
+=============  ===========================================================
+``read_fe``    block until full, read, leave **empty**  (default read)
+``read_ff``    block until full, read, leave full
+``read_xx``    read current value regardless of state (no state change)
+``write_ef``   block until empty, write, leave **full** (default write)
+``write_ff``   block until full, write, leave full
+``write_xf``   write regardless of state, leave full
+``reset``      set to the type's default value, leave empty
+``is_full``    non-blocking state peek
+=============  ===========================================================
+
+Like the mutex pools, the blocking behaviour honours the ambient
+:class:`~repro.runtime.env.ChapelEnv`: under Qthreads a blocked task waits
+on a condition variable (and the wait is counted as a sleep); under fifo
+it spin-waits (counted as yields).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Generic, TypeVar
+
+from repro.runtime.accounting import CostCounters
+from repro.runtime.env import ChapelEnv
+
+__all__ = ["SyncVar"]
+
+T = TypeVar("T")
+
+
+class SyncVar(Generic[T]):
+    """A Chapel ``sync`` variable holding one value of type ``T``.
+
+    Parameters
+    ----------
+    initial:
+        If given, the variable starts *full* with this value; otherwise it
+        starts empty (Chapel's default for an uninitialized sync).
+    env:
+        Tasking-layer configuration; decides sleep-vs-spin for blocked
+        accesses.
+    counters:
+        Optional shared instrumentation.
+    """
+
+    def __init__(
+        self,
+        initial: T | None = None,
+        *,
+        default: T | None = None,
+        env: ChapelEnv | None = None,
+        counters: CostCounters | None = None,
+    ):
+        self.env = env if env is not None else ChapelEnv()
+        self.counters = counters if counters is not None else CostCounters()
+        self._cond = threading.Condition(threading.Lock())
+        self._default: T | None = default
+        if initial is not None:
+            self._value: T | None = initial
+            self._full = True
+        else:
+            self._value = default
+            self._full = False
+
+    # ------------------------------------------------------------------
+    # waiting primitives
+    # ------------------------------------------------------------------
+    def _wait_for_state(self, want_full: bool) -> None:
+        """Block (sleep or spin, per the tasking layer) until the state
+        matches; caller must hold ``self._cond``."""
+        if self.env.sync_vars_sleep:
+            while self._full != want_full:
+                self.counters.add(sync_sleeps=1)
+                self._cond.wait()
+        else:
+            while self._full != want_full:
+                self._cond.release()
+                self.counters.add(task_yields=1)
+                time.sleep(0)
+                self._cond.acquire()
+
+    def _notify(self) -> None:
+        if self.env.sync_vars_sleep:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read_fe(self) -> T:
+        """Block until full, return the value, leave **empty**."""
+        with self._cond:
+            self._wait_for_state(True)
+            value = self._value
+            self._full = False
+            self._notify()
+            return value  # type: ignore[return-value]
+
+    def read_ff(self) -> T:
+        """Block until full, return the value, leave full."""
+        with self._cond:
+            self._wait_for_state(True)
+            self._notify()
+            return self._value  # type: ignore[return-value]
+
+    def read_xx(self) -> T | None:
+        """Return the current value regardless of state (no state change)."""
+        with self._cond:
+            return self._value
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def write_ef(self, value: T) -> None:
+        """Block until empty, store ``value``, leave **full**."""
+        with self._cond:
+            self._wait_for_state(False)
+            self._value = value
+            self._full = True
+            self._notify()
+
+    def write_ff(self, value: T) -> None:
+        """Block until full, overwrite the value, leave full."""
+        with self._cond:
+            self._wait_for_state(True)
+            self._value = value
+            self._notify()
+
+    def write_xf(self, value: T) -> None:
+        """Store ``value`` regardless of state, leave full."""
+        with self._cond:
+            self._value = value
+            self._full = True
+            self._notify()
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Set to the default value and leave **empty** (Chapel ``reset``)."""
+        with self._cond:
+            self._value = self._default
+            self._full = False
+            self._notify()
+
+    def is_full(self) -> bool:
+        """Non-blocking state peek (Chapel ``isFull``)."""
+        with self._cond:
+            return self._full

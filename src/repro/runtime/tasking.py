@@ -1,0 +1,153 @@
+"""Tasking layers: ``coforall``/``forall`` over real Python threads.
+
+Chapel maps *tasks* onto threads via a pluggable tasking layer; the paper
+uses Qthreads (default) and fifo (POSIX threads).  Here both layers execute
+tasks on real :mod:`threading` threads — NumPy kernels release the GIL, so
+chunked vectorized work genuinely overlaps — and differ in the properties
+the rest of the system cares about:
+
+* how ``sync`` variables behave (:attr:`ChapelEnv.sync_vars_sleep`),
+* worker pinning and spin-wait (consumed by
+  :mod:`repro.perfmodel.interference`).
+
+``coforall(n, body)`` is Chapel's task-parallel loop: exactly ``n`` tasks,
+``body(tid)`` each.  ``forall(n, body)`` is the data-parallel loop: the
+iteration space ``0..n-1`` is blocked over the layer's task count and
+``body(lo, hi, tid)`` processes one block.  The paper's §IV-B pattern —
+an ``omp for`` nested inside ``omp parallel`` — maps to ``coforall`` +
+:func:`static_block`, and that is exactly how the MTTKRP kernels use it.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC
+from typing import Callable
+
+from repro.runtime.accounting import CostCounters
+from repro.runtime.env import ChapelEnv
+
+__all__ = [
+    "TaskingLayer",
+    "QthreadsLayer",
+    "FifoLayer",
+    "make_tasking_layer",
+    "static_block",
+]
+
+
+def static_block(n: int, ntasks: int, tid: int) -> tuple[int, int]:
+    """The ``[lo, hi)`` block of ``0..n-1`` owned by task ``tid``.
+
+    Matches OpenMP's static schedule (and what the paper's Chapel code
+    computes manually inside ``coforall``, §IV-B): the first ``n % ntasks``
+    tasks get one extra element.
+    """
+    if ntasks < 1:
+        raise ValueError("ntasks must be >= 1")
+    if not 0 <= tid < ntasks:
+        raise ValueError(f"tid {tid} out of range for {ntasks} tasks")
+    base, extra = divmod(n, ntasks)
+    lo = tid * base + min(tid, extra)
+    hi = lo + base + (1 if tid < extra else 0)
+    return lo, hi
+
+
+class TaskingLayer(ABC):
+    """Executes Chapel-style parallel constructs on real threads."""
+
+    #: Layer name ("qthreads" / "fifo").
+    name: str = ""
+
+    def __init__(self, env: ChapelEnv, counters: CostCounters | None = None):
+        if env.tasking_layer != self.name:
+            raise ValueError(
+                f"env requests tasking layer {env.tasking_layer!r} "
+                f"but this is the {self.name!r} layer"
+            )
+        self.env = env
+        self.counters = counters if counters is not None else CostCounters()
+
+    # ------------------------------------------------------------------
+    def coforall(self, ntasks: int, body: Callable[[int], None]) -> None:
+        """Run ``body(tid)`` for ``tid in 0..ntasks-1`` concurrently.
+
+        ``ntasks == 1`` runs inline (no thread spawn), matching Chapel's
+        serialization of singleton coforalls.  Exceptions raised by any
+        task propagate to the caller after all tasks join (first one wins).
+        """
+        if ntasks < 1:
+            raise ValueError("ntasks must be >= 1")
+        if ntasks == 1:
+            body(0)
+            return
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def run(tid: int) -> None:
+            try:
+                body(tid)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with errors_lock:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(tid,), daemon=True) for tid in range(ntasks)]
+        self.counters.add(tasks_spawned=ntasks)
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+
+    def forall(self, n: int, body: Callable[[int, int, int], None]) -> None:
+        """Data-parallel loop: block ``0..n-1`` over ``env.num_tasks`` tasks.
+
+        ``body(lo, hi, tid)`` handles one contiguous block.
+        """
+        ntasks = min(self.env.num_tasks, max(n, 1))
+
+        def task(tid: int) -> None:
+            lo, hi = static_block(n, ntasks, tid)
+            if lo < hi:
+                body(lo, hi, tid)
+
+        self.coforall(ntasks, task)
+
+    def task_yield(self) -> None:
+        """``chpl_task_yield()`` — cede the thread; counted."""
+        self.counters.add(task_yields=1)
+        import time
+
+        time.sleep(0)
+
+
+class QthreadsLayer(TaskingLayer):
+    """Chapel's default tasking layer.
+
+    Distinctive properties (all read by the perfmodel / lock pools):
+    workers pinned to cores by default (``env.qt_affinity``), long
+    spin-wait before suspending (``env.qt_spincount``), and sync variables
+    that *sleep* blocked tasks.
+    """
+
+    name = "qthreads"
+
+
+class FifoLayer(TaskingLayer):
+    """The fifo (POSIX threads) tasking layer.
+
+    No worker pinning, and sync variables *spin*, which is why Fig 4's
+    "FIFO-sync" curve tracks the atomic pool.
+    """
+
+    name = "fifo"
+
+
+def make_tasking_layer(env: ChapelEnv, counters: CostCounters | None = None) -> TaskingLayer:
+    """Instantiate the layer selected by ``env.tasking_layer``."""
+    if env.tasking_layer == "qthreads":
+        return QthreadsLayer(env, counters)
+    if env.tasking_layer == "fifo":
+        return FifoLayer(env, counters)
+    raise ValueError(f"unknown tasking layer {env.tasking_layer!r}")

@@ -1,0 +1,52 @@
+"""Sparse tensor substrate: COO storage, I/O, sorting, synthetic data.
+
+This package is the reproduction of SPLATT's ``sptensor`` layer — the
+coordinate-format tensor that is read from disk, sorted per output mode, and
+handed to the CSF builder (:mod:`repro.csf`).
+"""
+
+from repro.tensor.coo import SparseTensor
+from repro.tensor.generate import (
+    DATASET_SIGNATURES,
+    DatasetSignature,
+    planted_low_rank,
+    random_tensor,
+    synthetic_dataset,
+)
+from repro.tensor.io import load_tns, save_tns
+from repro.tensor.reorder import REORDER_STRATEGIES, apply_relabeling, reorder_tensor
+from repro.tensor.sort import SORT_VARIANTS, sort_tensor
+from repro.tensor.stats import TensorStats, tensor_stats
+from repro.tensor.validate import ValidationReport, validate_tensor
+from repro.tensor.transform import (
+    binarize,
+    drop_empty_slices,
+    scale_values,
+    split_nonzeros,
+    subtensor,
+)
+
+__all__ = [
+    "SparseTensor",
+    "DatasetSignature",
+    "DATASET_SIGNATURES",
+    "synthetic_dataset",
+    "random_tensor",
+    "planted_low_rank",
+    "load_tns",
+    "save_tns",
+    "sort_tensor",
+    "SORT_VARIANTS",
+    "TensorStats",
+    "tensor_stats",
+    "split_nonzeros",
+    "drop_empty_slices",
+    "scale_values",
+    "binarize",
+    "subtensor",
+    "reorder_tensor",
+    "apply_relabeling",
+    "REORDER_STRATEGIES",
+    "validate_tensor",
+    "ValidationReport",
+]

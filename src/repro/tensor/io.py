@@ -1,0 +1,137 @@
+"""Tensor file I/O: the FROSTT ``.tns`` text format and a binary format.
+
+SPLATT reads whitespace-separated text files where each line holds the
+1-indexed coordinates of a nonzero followed by its value::
+
+    1 1 1 1.0
+    2 7 3 0.5
+
+We reproduce that reader/writer (``load_tns`` / ``save_tns``), including
+comment lines (``#``) and blank-line tolerance, plus a fast ``.npz`` binary
+round-trip used by the benchmark harness to cache generated datasets.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import INDEX_DTYPE, VALUE_DTYPE
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["load_tns", "save_tns", "load_binary", "save_binary"]
+
+
+def _open_text(path: Path, mode: str):
+    """Open text, transparently handling ``.gz`` files (FROSTT ships both)."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
+
+
+def load_tns(
+    path: str | os.PathLike,
+    *,
+    dims: tuple[int, ...] | None = None,
+    one_indexed: bool = True,
+) -> SparseTensor:
+    """Read a FROSTT-style text tensor.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    dims:
+        Explicit mode lengths.  When omitted, each mode length is inferred as
+        ``max coordinate + 1`` (after 1-index correction), matching SPLATT's
+        ``tt_get_dims``.
+    one_indexed:
+        FROSTT files are 1-indexed; set ``False`` for 0-indexed files.
+
+    ``.gz`` paths are decompressed transparently (FROSTT distributes
+    tensors gzipped).
+
+    Raises
+    ------
+    ValueError
+        On ragged rows (inconsistent mode counts between lines) or
+        non-numeric fields.
+    """
+    path = Path(path)
+    rows: list[list[str]] = []
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            fields = stripped.split()
+            if len(fields) < 2:
+                raise ValueError(f"{path}:{lineno}: need at least one index and a value")
+            rows.append(fields)
+    if not rows:
+        raise ValueError(f"{path}: no nonzeros found")
+    width = len(rows[0])
+    nmodes = width - 1
+    coords = np.empty((len(rows), nmodes), dtype=INDEX_DTYPE)
+    values = np.empty(len(rows), dtype=VALUE_DTYPE)
+    for i, fields in enumerate(rows):
+        if len(fields) != width:
+            raise ValueError(
+                f"{path}: ragged row {i + 1} has {len(fields)} fields, expected {width}"
+            )
+        try:
+            coords[i] = [int(f) for f in fields[:-1]]
+            values[i] = float(fields[-1])
+        except ValueError as exc:
+            raise ValueError(f"{path}: bad numeric field in row {i + 1}: {exc}") from exc
+    if one_indexed:
+        coords -= 1
+    if (coords < 0).any():
+        raise ValueError(f"{path}: coordinate underflow (is the file really 1-indexed?)")
+    if dims is None:
+        dims = tuple(int(coords[:, m].max()) + 1 for m in range(nmodes))
+    name = path.stem
+    if name.endswith(".tns"):
+        name = name[: -len(".tns")]
+    return SparseTensor(coords, values, dims, name=name)
+
+
+def save_tns(
+    tensor: SparseTensor,
+    path: str | os.PathLike,
+    *,
+    one_indexed: bool = True,
+) -> None:
+    """Write a FROSTT-style text tensor (inverse of :func:`load_tns`)."""
+    path = Path(path)
+    offset = 1 if one_indexed else 0
+    with _open_text(path, "w") as fh:
+        for coord, value in zip(tensor.coords, tensor.values):
+            idx = " ".join(str(int(c) + offset) for c in coord)
+            # repr(float) round-trips doubles exactly
+            fh.write(f"{idx} {float(value)!r}\n")
+
+
+def save_binary(tensor: SparseTensor, path: str | os.PathLike) -> None:
+    """Cache a tensor as compressed ``.npz`` (fast benchmark-harness format)."""
+    np.savez_compressed(
+        Path(path),
+        coords=tensor.coords,
+        values=tensor.values,
+        dims=np.asarray(tensor.dims, dtype=INDEX_DTYPE),
+        name=np.asarray(tensor.name),
+    )
+
+
+def load_binary(path: str | os.PathLike) -> SparseTensor:
+    """Load a tensor cached with :func:`save_binary`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return SparseTensor(
+            data["coords"],
+            data["values"],
+            tuple(int(d) for d in data["dims"]),
+            name=str(data["name"]),
+        )

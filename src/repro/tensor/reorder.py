@@ -1,0 +1,84 @@
+"""Mode-index relabeling (SPLATT's tensor reordering).
+
+SPLATT can relabel the indices of each mode before building the CSF so
+that related nonzeros end up adjacent — fewer distinct prefixes, shorter
+fibers, better cache behaviour.  Relabeling never changes the tensor's
+*values* (it is a bijection per mode), only its layout; the measurable
+effect is the CSF's node counts, which the reordering ablation asserts.
+
+Strategies:
+
+``degree``
+    Sort each mode's indices by descending nonzero count (hubs first).
+    Groups the heavy slices together — the classic locality relabeling.
+``random``
+    A seeded random bijection per mode; the control arm (destroys any
+    incidental locality the input ordering had).
+``identity``
+    No-op (returns a copy), for uniform APIs in sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["REORDER_STRATEGIES", "reorder_tensor", "apply_relabeling"]
+
+REORDER_STRATEGIES: tuple[str, ...] = ("identity", "degree", "random")
+
+
+def _degree_permutation(tensor: SparseTensor, mode: int) -> np.ndarray:
+    """``perm[new] = old`` sorting indices by descending slice nnz."""
+    hist = np.bincount(tensor.mode_indices(mode), minlength=tensor.dims[mode])
+    return np.argsort(-hist, kind="stable").astype(np.int64)
+
+
+def apply_relabeling(
+    tensor: SparseTensor, perms: list[np.ndarray]
+) -> SparseTensor:
+    """Apply per-mode relabelings ``perms[m][new] = old``.
+
+    Returns a tensor whose coordinate ``i`` in mode ``m`` refers to the old
+    index ``perms[m][i]``.
+    """
+    if len(perms) != tensor.nmodes:
+        raise ValueError(f"need {tensor.nmodes} permutations, got {len(perms)}")
+    new_coords = np.empty_like(tensor.coords)
+    for m, perm in enumerate(perms):
+        perm = np.asarray(perm, dtype=np.int64)
+        if sorted(perm.tolist()) != list(range(tensor.dims[m])):
+            raise ValueError(f"perms[{m}] is not a bijection on 0..{tensor.dims[m] - 1}")
+        inverse = np.empty(tensor.dims[m], dtype=np.int64)
+        inverse[perm] = np.arange(tensor.dims[m])
+        new_coords[:, m] = inverse[tensor.mode_indices(m)]
+    return SparseTensor(new_coords, tensor.values.copy(), tensor.dims, name=tensor.name)
+
+
+def reorder_tensor(
+    tensor: SparseTensor,
+    *,
+    strategy: str = "degree",
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[SparseTensor, list[np.ndarray]]:
+    """Relabel every mode's indices under the chosen strategy.
+
+    Returns ``(relabeled, perms)`` with ``perms[m][new_index] = old_index``
+    so factor rows can be mapped back after decomposition
+    (``factor_old = factor_new[inverse]`` or simply index via ``perms``).
+    """
+    if strategy not in REORDER_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {REORDER_STRATEGIES}"
+        )
+    if strategy == "identity":
+        perms = [np.arange(d, dtype=np.int64) for d in tensor.dims]
+        return tensor.copy(), perms
+    if strategy == "degree":
+        perms = [_degree_permutation(tensor, m) for m in range(tensor.nmodes)]
+    else:  # random
+        rng = as_rng(seed)
+        perms = [rng.permutation(d).astype(np.int64) for d in tensor.dims]
+    return apply_relabeling(tensor, perms), perms

@@ -1,0 +1,134 @@
+"""Structural statistics of sparse tensors.
+
+The performance model (:mod:`repro.perfmodel`) is driven by *real* workload
+statistics, not guesses: fiber counts per mode, slice occupancy, and the
+hub-concentration numbers that determine whether SPLATT's parallel MTTKRP
+needs its mutex pool for a given task count (the YELP-vs-NELL-2 distinction
+at the heart of the paper's Fig 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.coo import SparseTensor
+
+__all__ = ["ModeStats", "TensorStats", "tensor_stats"]
+
+
+@dataclass(frozen=True)
+class ModeStats:
+    """Per-mode structural statistics.
+
+    Attributes
+    ----------
+    mode:
+        The mode index these statistics describe.
+    dim:
+        Mode length ``I_n``.
+    nonempty_slices:
+        Number of indices of this mode that own at least one nonzero.
+    nfibers:
+        Number of distinct (this-mode, next-mode) fiber prefixes when this
+        mode is the CSF root — the quantity SPLATT's CSF ``nfibs[1]`` reports.
+    max_slice_nnz:
+        Largest number of nonzeros in any slice of this mode.
+    mean_slice_nnz:
+        Mean nonzeros per *nonempty* slice.
+    slice_imbalance:
+        ``max_slice_nnz / mean_slice_nnz`` — a load-imbalance indicator; hub
+        slices (YELP users who review everything) push it far above 1.
+    top_slice_share:
+        Fraction of all nonzeros owned by the heaviest 1% of slices.  This is
+        the contention driver: when a few output rows absorb most updates,
+        lock-free row ownership breaks down.
+    """
+
+    mode: int
+    dim: int
+    nonempty_slices: int
+    nfibers: int
+    max_slice_nnz: int
+    mean_slice_nnz: float
+    slice_imbalance: float
+    top_slice_share: float
+
+
+@dataclass(frozen=True)
+class TensorStats:
+    """Whole-tensor statistics consumed by the performance model."""
+
+    dims: tuple[int, ...]
+    nnz: int
+    density: float
+    modes: tuple[ModeStats, ...]
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.dims)
+
+    def mode(self, m: int) -> ModeStats:
+        return self.modes[m]
+
+    @property
+    def max_top_slice_share(self) -> float:
+        """Worst hub concentration over all modes — the lock-pressure proxy."""
+        return max(ms.top_slice_share for ms in self.modes)
+
+
+def _slice_histogram(indices: np.ndarray, dim: int) -> np.ndarray:
+    """Nonzeros per slice index, length ``dim``."""
+    return np.bincount(indices, minlength=dim)
+
+
+def _fiber_count(tensor: SparseTensor, mode: int) -> int:
+    """Distinct (mode, next-mode) pairs = CSF level-1 fiber count at this root."""
+    nmodes = tensor.nmodes
+    if nmodes == 1:
+        return int(np.unique(tensor.mode_indices(0)).size)
+    nxt = (mode + 1) % nmodes
+    a = tensor.mode_indices(mode).astype(np.int64)
+    b = tensor.mode_indices(nxt).astype(np.int64)
+    key = a * int(tensor.dims[nxt]) + b
+    return int(np.unique(key).size)
+
+
+def tensor_stats(tensor: SparseTensor) -> TensorStats:
+    """Compute :class:`TensorStats` for a (deduplicated) tensor.
+
+    Cost is ``O(nnz log nnz)`` per mode, dominated by the unique-fiber count.
+    """
+    modes = []
+    for m in range(tensor.nmodes):
+        dim = tensor.dims[m]
+        hist = _slice_histogram(tensor.mode_indices(m), dim)
+        nonempty = int((hist > 0).sum())
+        max_nnz = int(hist.max()) if hist.size else 0
+        mean_nnz = float(tensor.nnz / nonempty) if nonempty else 0.0
+        imbalance = (max_nnz / mean_nnz) if mean_nnz > 0 else 0.0
+        if tensor.nnz:
+            k = max(1, dim // 100)  # heaviest 1% of slices (at least one)
+            top = np.sort(hist)[-k:]
+            top_share = float(top.sum() / tensor.nnz)
+        else:
+            top_share = 0.0
+        modes.append(
+            ModeStats(
+                mode=m,
+                dim=dim,
+                nonempty_slices=nonempty,
+                nfibers=_fiber_count(tensor, m),
+                max_slice_nnz=max_nnz,
+                mean_slice_nnz=mean_nnz,
+                slice_imbalance=imbalance,
+                top_slice_share=top_share,
+            )
+        )
+    return TensorStats(
+        dims=tensor.dims,
+        nnz=tensor.nnz,
+        density=tensor.density,
+        modes=tuple(modes),
+    )

@@ -1,0 +1,144 @@
+"""Tensor transformation utilities.
+
+The operations a practitioner applies between loading a tensor and
+decomposing it: held-out splits for completion experiments, empty-slice
+compaction (FROSTT files routinely have unused indices), value scaling,
+and binarization.  All return new tensors; nothing mutates in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import VALUE_DTYPE, as_rng
+from repro.tensor.coo import SparseTensor
+
+__all__ = [
+    "split_nonzeros",
+    "drop_empty_slices",
+    "scale_values",
+    "binarize",
+    "subtensor",
+]
+
+
+def split_nonzeros(
+    tensor: SparseTensor,
+    fraction: float,
+    *,
+    seed: int | np.random.Generator | None = 0,
+) -> tuple[SparseTensor, SparseTensor]:
+    """Random (train, test) split of the nonzeros.
+
+    ``fraction`` is the test share; both returned tensors keep the full
+    dims (so factor matrices stay shape-compatible).
+    """
+    if not 0 < fraction < 1:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    if tensor.nnz < 2:
+        raise ValueError("need at least 2 nonzeros to split")
+    rng = as_rng(seed)
+    n_test = max(1, int(round(tensor.nnz * fraction)))
+    if n_test >= tensor.nnz:
+        n_test = tensor.nnz - 1
+    test_idx = rng.choice(tensor.nnz, size=n_test, replace=False)
+    mask = np.zeros(tensor.nnz, dtype=bool)
+    mask[test_idx] = True
+    train = SparseTensor(
+        tensor.coords[~mask], tensor.values[~mask], tensor.dims,
+        name=f"{tensor.name}/train",
+    )
+    test = SparseTensor(
+        tensor.coords[mask], tensor.values[mask], tensor.dims,
+        name=f"{tensor.name}/test",
+    )
+    return train, test
+
+
+def drop_empty_slices(tensor: SparseTensor) -> tuple[SparseTensor, list[np.ndarray]]:
+    """Compact every mode's index space to its nonempty slices.
+
+    Returns ``(compacted, maps)`` where ``maps[m][new_index] =
+    old_index`` recovers the original labels.  SPLATT performs the same
+    compaction when reading FROSTT files with gaps.
+    """
+    maps: list[np.ndarray] = []
+    new_coords = np.empty_like(tensor.coords)
+    new_dims = []
+    for m in range(tensor.nmodes):
+        used = np.unique(tensor.mode_indices(m))
+        maps.append(used)
+        lookup = np.zeros(tensor.dims[m], dtype=np.int64)
+        lookup[used] = np.arange(used.size)
+        new_coords[:, m] = lookup[tensor.mode_indices(m)]
+        new_dims.append(max(int(used.size), 1))
+    return (
+        SparseTensor(new_coords, tensor.values.copy(), tuple(new_dims), name=tensor.name),
+        maps,
+    )
+
+
+def scale_values(
+    tensor: SparseTensor,
+    *,
+    how: str = "maxabs",
+) -> tuple[SparseTensor, float]:
+    """Rescale the nonzero values; returns ``(scaled, factor)``.
+
+    ``how``:
+      * ``"maxabs"`` — divide by ``max |v|`` (values land in [-1, 1]);
+      * ``"norm"``   — divide by the Frobenius norm;
+      * ``"mean"``   — divide by the mean absolute value.
+    """
+    if tensor.nnz == 0:
+        return tensor.copy(), 1.0
+    if how == "maxabs":
+        factor = float(np.abs(tensor.values).max())
+    elif how == "norm":
+        factor = tensor.norm()
+    elif how == "mean":
+        factor = float(np.abs(tensor.values).mean())
+    else:
+        raise ValueError(f"unknown scaling {how!r}; use 'maxabs', 'norm' or 'mean'")
+    if factor == 0.0:
+        factor = 1.0
+    return (
+        SparseTensor(
+            tensor.coords.copy(), tensor.values / factor, tensor.dims, name=tensor.name
+        ),
+        factor,
+    )
+
+
+def binarize(tensor: SparseTensor) -> SparseTensor:
+    """Replace every nonzero value with 1.0 (presence tensor)."""
+    return SparseTensor(
+        tensor.coords.copy(),
+        np.ones(tensor.nnz, dtype=VALUE_DTYPE),
+        tensor.dims,
+        name=tensor.name,
+    )
+
+
+def subtensor(
+    tensor: SparseTensor,
+    ranges: tuple[tuple[int, int], ...],
+) -> SparseTensor:
+    """Extract the sub-volume ``ranges[m] = (lo, hi)`` per mode.
+
+    Coordinates are shifted to the sub-volume's origin; the result's dims
+    are the range lengths.
+    """
+    if len(ranges) != tensor.nmodes:
+        raise ValueError(f"need {tensor.nmodes} ranges, got {len(ranges)}")
+    mask = np.ones(tensor.nnz, dtype=bool)
+    for m, (lo, hi) in enumerate(ranges):
+        if not 0 <= lo < hi <= tensor.dims[m]:
+            raise ValueError(f"range {(lo, hi)} invalid for mode {m} (dim {tensor.dims[m]})")
+        idx = tensor.mode_indices(m)
+        mask &= (idx >= lo) & (idx < hi)
+    coords = tensor.coords[mask].copy()
+    for m, (lo, _) in enumerate(ranges):
+        coords[:, m] -= lo
+    dims = tuple(hi - lo for lo, hi in ranges)
+    return SparseTensor(coords, tensor.values[mask], dims, name=tensor.name)

@@ -1,0 +1,131 @@
+"""Tensor validation reports (``splatt check``'s deep mode).
+
+:func:`validate_tensor` inspects a COO tensor for the issues that matter
+before decomposition and returns a structured report: duplicate
+coordinates (CSF construction assumes unique), empty slices (wasted factor
+rows; SPLATT compacts them), explicit zeros, pathological hub skew, and
+basic shape sanity.  Nothing is repaired here — the transforms in
+:mod:`repro.tensor.transform` do that — so validation stays side-effect
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tensor.coo import SparseTensor
+from repro.tensor.stats import tensor_stats
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_tensor"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding.
+
+    ``severity`` is ``"error"`` (decomposition would be wrong/ill-posed),
+    ``"warning"`` (works, but wasteful or numerically fragile) or
+    ``"info"``.
+    """
+
+    severity: str
+    code: str
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one tensor."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity issues were found."""
+        return not any(i.severity == "error" for i in self.issues)
+
+    def by_code(self, code: str) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.code == code]
+
+    def render(self) -> str:
+        if not self.issues:
+            return "OK: no issues found"
+        lines = []
+        for issue in self.issues:
+            lines.append(f"[{issue.severity.upper():7s}] {issue.code}: {issue.message}")
+        return "\n".join(lines)
+
+
+def validate_tensor(
+    tensor: SparseTensor,
+    *,
+    hub_share_warning: float = 0.5,
+) -> ValidationReport:
+    """Inspect a tensor; see module docstring for the checked conditions."""
+    report = ValidationReport()
+    add = report.issues.append
+
+    if tensor.nnz == 0:
+        add(ValidationIssue("error", "empty", "tensor has no nonzeros"))
+        return report
+
+    # duplicates
+    keys = np.unique(tensor.coords, axis=0)
+    ndup = tensor.nnz - keys.shape[0]
+    if ndup:
+        add(ValidationIssue(
+            "error", "duplicates",
+            f"{ndup} duplicate coordinates (CSF construction assumes unique "
+            "entries; call .deduplicate())",
+        ))
+
+    # explicit zeros
+    nzeros = int((tensor.values == 0.0).sum())
+    if nzeros:
+        add(ValidationIssue(
+            "warning", "explicit-zeros",
+            f"{nzeros} stored zeros inflate nnz without contributing",
+        ))
+
+    stats = tensor_stats(tensor)
+    for ms in stats.modes:
+        empty = ms.dim - ms.nonempty_slices
+        if empty:
+            frac = empty / ms.dim
+            severity = "warning" if frac > 0.1 else "info"
+            add(ValidationIssue(
+                severity, "empty-slices",
+                f"mode {ms.mode}: {empty}/{ms.dim} slices empty "
+                f"({100 * frac:.1f}%); drop_empty_slices() would compact",
+            ))
+        if ms.top_slice_share > hub_share_warning:
+            add(ValidationIssue(
+                "warning", "hub-skew",
+                f"mode {ms.mode}: top 1% of slices hold "
+                f"{100 * ms.top_slice_share:.0f}% of nonzeros — expect lock "
+                "contention in parallel MTTKRP",
+            ))
+
+    # degenerate modes
+    for m, d in enumerate(tensor.dims):
+        if d == 1:
+            add(ValidationIssue(
+                "warning", "degenerate-mode",
+                f"mode {m} has length 1 (contributes nothing to the "
+                "decomposition)",
+            ))
+
+    # value magnitude spread (conditioning)
+    mags = np.abs(tensor.values[tensor.values != 0.0])
+    if mags.size:
+        spread = float(mags.max() / mags.min())
+        if spread > 1e8:
+            add(ValidationIssue(
+                "warning", "value-spread",
+                f"nonzero magnitudes span {spread:.1e}x — consider "
+                "scale_values() for conditioning",
+            ))
+
+    return report

@@ -1,0 +1,24 @@
+"""Sparse Tucker decomposition (SPLATT's other factorization).
+
+The paper describes SPLATT as "an open source software toolbox for sparse
+tensor factorization and related kernels", citing its CSF-accelerated
+Tucker decomposition (Smith & Karypis, Euro-Par 2017) alongside CP.  This
+package implements that second factorization:
+
+* :func:`~repro.tucker.ttmc.ttmc` — the **TTMc** kernel (tensor times
+  matrix chain): contract a sparse tensor with the transposed factors of
+  every mode but one.  TTMc is to Tucker what MTTKRP is to CP — the
+  dominant sparse kernel.
+* :func:`~repro.tucker.hooi.tucker_hooi` — HOOI (higher-order orthogonal
+  iteration) with an HOSVD warm start: alternately recompute each mode's
+  orthonormal basis from the leading left singular vectors of its TTMc
+  unfolding, then contract the core.
+
+Validated against dense ``einsum`` references and planted Tucker-structure
+recovery in the test suite.
+"""
+
+from repro.tucker.hooi import TuckerResult, tucker_hooi
+from repro.tucker.ttmc import ttmc, ttmc_dense_reference
+
+__all__ = ["ttmc", "ttmc_dense_reference", "tucker_hooi", "TuckerResult"]

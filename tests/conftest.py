@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import SparseTensor
+from repro.tensor.generate import planted_low_rank, random_tensor
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def tiny_tensor() -> SparseTensor:
+    """A hand-written 3x2x2 tensor with known entries."""
+    coords = np.array([[0, 0, 0], [0, 1, 1], [1, 0, 1], [2, 1, 0]])
+    values = np.array([1.0, 2.0, -3.0, 4.0])
+    return SparseTensor(coords, values, (3, 2, 2), name="tiny")
+
+
+@pytest.fixture()
+def small_tensor() -> SparseTensor:
+    """A random 12x9x15 tensor with 200 unique nonzeros."""
+    return random_tensor((12, 9, 15), 200, seed=7)
+
+
+@pytest.fixture()
+def order4_tensor() -> SparseTensor:
+    """A random 4th-order tensor (the paper's future-work case)."""
+    return random_tensor((6, 5, 7, 4), 150, seed=11)
+
+
+@pytest.fixture()
+def factors_for(rng):
+    """Factory: random factor matrices for a tensor at a given rank."""
+
+    def make(tensor: SparseTensor, rank: int = 5) -> list[np.ndarray]:
+        return [np.asarray(rng.random((d, rank))) for d in tensor.dims]
+
+    return make
+
+
+@pytest.fixture()
+def planted():
+    """A fully-observed planted rank-3 tensor and its factors."""
+    return planted_low_rank((8, 7, 6), 3, 8 * 7 * 6, seed=5)

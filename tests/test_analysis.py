@@ -1,0 +1,172 @@
+"""Unit tests for the analysis tools (FMS, CORCONDIA, component summaries)
+and Kruskal model I/O."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.components import component_summary, top_entities
+from repro.analysis.corcondia import core_consistency
+from repro.analysis.fms import align_components, factor_match_score
+from repro.core.cpals import cp_als
+from repro.core.kruskal import KruskalTensor
+from repro.core.model_io import (
+    load_kruskal_dir,
+    load_kruskal_npz,
+    save_kruskal_dir,
+    save_kruskal_npz,
+)
+from repro.core.options import CpalsOptions
+from repro.tensor.coo import SparseTensor
+from repro.tensor.generate import planted_low_rank
+
+
+@pytest.fixture()
+def model(rng):
+    return KruskalTensor(
+        rng.random(3) + 0.5,
+        [rng.random((6, 3)), rng.random((5, 3)), rng.random((4, 3))],
+    )
+
+
+class TestFms:
+    def test_identical_models_score_one(self, model):
+        assert factor_match_score(model, model) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self, model):
+        perm = [2, 0, 1]
+        permuted = KruskalTensor(
+            model.weights[perm], [f[:, perm] for f in model.factors]
+        )
+        assert factor_match_score(model, permuted) == pytest.approx(1.0)
+        # align returns the inverse mapping: permuted's component
+        # align[r] corresponds to model's component r
+        np.testing.assert_array_equal(align_components(model, permuted), np.argsort(perm))
+
+    def test_scaling_invariant_within_component(self, model):
+        """Rescaling factors with compensating weights leaves FMS at 1."""
+        scaled = KruskalTensor(
+            model.weights * 6.0,
+            [model.factors[0] / 2.0, model.factors[1] / 3.0, model.factors[2]],
+        )
+        assert factor_match_score(model, scaled) == pytest.approx(1.0, abs=1e-10)
+
+    def test_weight_mismatch_penalized(self, model):
+        heavier = KruskalTensor(model.weights * 10.0, model.factors)
+        with_pen = factor_match_score(model, heavier)
+        without = factor_match_score(model, heavier, weight_penalty=False)
+        assert with_pen < 0.2
+        assert without == pytest.approx(1.0)
+
+    def test_random_models_score_low(self, rng):
+        a = KruskalTensor(np.ones(4), [rng.random((30, 4)) for _ in range(3)])
+        b = KruskalTensor(np.ones(4), [rng.random((30, 4)) for _ in range(3)])
+        assert factor_match_score(a, b) < 0.9
+
+    def test_shape_mismatch_rejected(self, model, rng):
+        other = KruskalTensor(np.ones(3), [rng.random((7, 3)) for _ in range(3)])
+        with pytest.raises(ValueError, match="shapes"):
+            factor_match_score(model, other)
+
+    def test_rank_mismatch_rejected(self, model):
+        other = KruskalTensor(
+            np.ones(2), [f[:, :2].copy() for f in model.factors]
+        )
+        with pytest.raises(ValueError, match="ranks"):
+            factor_match_score(model, other)
+
+    def test_cp_als_recovers_planted_factors(self):
+        """The strong recovery statement: FMS vs ground truth > 0.95."""
+        tensor, true_factors = planted_low_rank((10, 9, 8), 3, 720, seed=4)
+        truth = KruskalTensor(np.ones(3), true_factors)
+        res = cp_als(tensor, 3, CpalsOptions(max_iterations=200, tolerance=0, seed=1))
+        assert factor_match_score(truth, res.kruskal) > 0.95
+
+
+class TestCorcondia:
+    def test_exact_model_scores_100(self):
+        tensor, true_factors = planted_low_rank((8, 7, 6), 2, 336, seed=9)
+        truth = KruskalTensor(np.ones(2), true_factors)
+        assert core_consistency(tensor, truth) == pytest.approx(100.0, abs=1e-6)
+
+    def test_true_rank_scores_high(self):
+        """CORCONDIA is extremely residual-sensitive (fit 0.995 can score
+        ~55), so converge hard before asserting the >90 band."""
+        tensor, _ = planted_low_rank((8, 7, 6), 2, 336, seed=9)
+        res = cp_als(tensor, 2, CpalsOptions(max_iterations=800, tolerance=0, seed=1))
+        assert core_consistency(tensor, res.kruskal) > 90.0
+
+    def test_overfactored_rank_collapses(self):
+        tensor, _ = planted_low_rank((8, 7, 6), 2, 336, seed=9)
+        res = cp_als(tensor, 4, CpalsOptions(max_iterations=80, tolerance=0, seed=1))
+        assert core_consistency(tensor, res.kruskal) < 50.0
+
+    def test_dims_checked(self, model):
+        t = SparseTensor(np.array([[0, 0]]), np.ones(1), (2, 2))
+        with pytest.raises(ValueError, match="dims"):
+            core_consistency(t, model)
+
+
+class TestComponentTools:
+    def test_top_entities_ordering(self, model):
+        top = top_entities(model, 0, 0, k=3)
+        loadings = [abs(v) for _, v in top]
+        assert loadings == sorted(loadings, reverse=True)
+        assert len(top) == 3
+
+    def test_top_entities_k_capped(self, model):
+        assert len(top_entities(model, 2, 0, k=100)) == 4  # dim 4
+
+    def test_top_entities_validation(self, model):
+        with pytest.raises(ValueError, match="mode"):
+            top_entities(model, 5, 0)
+        with pytest.raises(ValueError, match="component"):
+            top_entities(model, 0, 7)
+
+    def test_summary_sorted_by_weight(self, model):
+        infos = component_summary(model)
+        weights = [abs(i.weight) for i in infos]
+        assert weights == sorted(weights, reverse=True)
+        assert len(infos) == model.rank
+        for info in infos:
+            assert len(info.concentration) == model.nmodes
+            assert all(0 <= c <= 1 + 1e-12 for c in info.concentration)
+
+
+class TestModelIo:
+    def test_npz_roundtrip(self, model, tmp_path):
+        path = tmp_path / "m.npz"
+        save_kruskal_npz(model, path)
+        loaded = load_kruskal_npz(path)
+        np.testing.assert_array_equal(loaded.weights, model.weights)
+        for a, b in zip(loaded.factors, model.factors):
+            np.testing.assert_array_equal(a, b)
+
+    def test_npz_not_a_model(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, something=np.ones(3))
+        with pytest.raises(ValueError, match="weights"):
+            load_kruskal_npz(path)
+
+    def test_dir_roundtrip(self, model, tmp_path):
+        save_kruskal_dir(model, tmp_path / "model")
+        loaded = load_kruskal_dir(tmp_path / "model")
+        np.testing.assert_allclose(loaded.weights, model.weights)
+        for a, b in zip(loaded.factors, model.factors):
+            np.testing.assert_allclose(a, b)
+
+    def test_dir_splatt_layout(self, model, tmp_path):
+        save_kruskal_dir(model, tmp_path / "model")
+        assert (tmp_path / "model" / "lambda.mat").exists()
+        assert (tmp_path / "model" / "mode1.mat").exists()
+        assert (tmp_path / "model" / "mode3.mat").exists()
+
+    def test_dir_missing_lambda(self, tmp_path):
+        with pytest.raises(ValueError, match="lambda"):
+            load_kruskal_dir(tmp_path)
+
+    def test_dir_rank_one_model(self, tmp_path, rng):
+        m = KruskalTensor(np.array([2.0]), [rng.random((4, 1)), rng.random((3, 1))])
+        save_kruskal_dir(m, tmp_path / "r1")
+        loaded = load_kruskal_dir(tmp_path / "r1")
+        assert loaded.rank == 1
+        assert loaded.dims == (4, 3)

@@ -1,0 +1,67 @@
+"""Unit tests for the ASCII chart renderer and ExperimentResult.chart()."""
+
+import pytest
+
+from repro.bench.plot import render_chart
+from repro.bench.runner import ExperimentResult, get_experiment
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        out = render_chart([1, 2, 4], {"a": [10.0, 5.0, 2.5]}, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert any("o" in line for line in lines)  # first series mark
+        assert "[log y]" in lines[-1]
+        assert "o a" in lines[-1]
+
+    def test_extremes_labeled(self):
+        out = render_chart([1, 2], {"a": [100.0, 1.0]})
+        assert "100" in out
+        assert "1" in out
+
+    def test_two_series_marks(self):
+        out = render_chart([1, 2], {"fast": [1.0, 0.5], "slow": [10.0, 5.0]})
+        assert "o fast" in out and "x slow" in out
+
+    def test_linear_axis(self):
+        out = render_chart([1, 2], {"a": [0.0, 5.0]}, log_y=False)
+        assert "[linear y]" in out
+
+    def test_monotone_series_positions(self):
+        """Larger values must land on higher (earlier) rows."""
+        out = render_chart([1, 2, 3], {"a": [100.0, 10.0, 1.0]}, height=9)
+        rows = [i for i, line in enumerate(out.splitlines()) if "o" in line]
+        assert rows == sorted(rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            render_chart([1], {})
+        with pytest.raises(ValueError, match="points"):
+            render_chart([1, 2], {"a": [1.0]})
+
+    def test_flat_series(self):
+        out = render_chart([1, 2], {"a": [3.0, 3.0]})
+        assert "o" in out
+
+
+class TestExperimentChart:
+    @pytest.mark.parametrize("exp_id", ["fig1", "fig4", "fig9", "fig10", "sec5e"])
+    def test_figure_shaped_experiments_chart(self, exp_id):
+        result = get_experiment(exp_id)()
+        chart = result.chart()
+        assert chart is not None
+        assert exp_id in chart
+
+    @pytest.mark.parametrize("exp_id", ["table1", "table2", "fig5", "headline"])
+    def test_table_shaped_experiments_do_not(self, exp_id):
+        result = get_experiment(exp_id)()
+        assert result.chart() is None
+
+    def test_boolean_columns_excluded(self):
+        r = ExperimentResult("x", "t", ["tasks", "flag", "secs"],
+                             [[1, True, 2.0], [2, False, 1.0]])
+        chart = r.chart()
+        assert chart is not None
+        assert "flag" not in chart
+        assert "secs" in chart

@@ -1,0 +1,194 @@
+"""Unit tests for constrained CP (constraints, ADMM, AO-ADMM driver)."""
+
+import numpy as np
+import pytest
+
+from repro.constrained.admm import admm_mode_solve
+from repro.constrained.constraints import (
+    CONSTRAINTS,
+    LassoConstraint,
+    NonNegConstraint,
+    RidgeConstraint,
+    UnconstrainedConstraint,
+    make_constraint,
+)
+from repro.constrained.cpd import constrained_cp_als
+from repro.tensor.generate import planted_low_rank
+
+
+@pytest.fixture()
+def planted():
+    """Fully observed positive planted rank-3 data: NCP's happy case."""
+    return planted_low_rank((10, 9, 8), 3, 10 * 9 * 8, seed=4)[0]
+
+
+class TestConstraints:
+    def test_registry(self):
+        assert set(CONSTRAINTS) == {"none", "nonneg", "l1", "ridge"}
+        for name in CONSTRAINTS:
+            assert make_constraint(name).name == name
+
+    def test_passthrough(self):
+        c = NonNegConstraint()
+        assert make_constraint(c) is c
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown constraint"):
+            make_constraint("simplex")
+
+    def test_nonneg_prox_clips(self):
+        c = NonNegConstraint()
+        m = np.array([[-1.0, 2.0], [0.5, -0.1]])
+        out = c.prox(m, 1.0)
+        np.testing.assert_allclose(out, [[0.0, 2.0], [0.5, 0.0]])
+        assert c.satisfied(out)
+        assert not c.satisfied(m)
+        assert c.penalty(m) == float("inf")
+        assert c.penalty(out) == 0.0
+
+    def test_l1_prox_soft_thresholds(self):
+        c = LassoConstraint(weight=0.5)
+        m = np.array([[1.0, -0.3, 0.6]])
+        out = c.prox(m, 1.0)  # threshold 0.5
+        np.testing.assert_allclose(out, [[0.5, 0.0, 0.1]])
+        assert c.penalty(out) == pytest.approx(0.5 * 0.6)
+
+    def test_l1_prox_is_argmin(self):
+        """prox must minimize g(A) + (rho/2)||A - M||² (grid check)."""
+        c = LassoConstraint(weight=0.3)
+        rho = 2.0
+        m = np.array([[0.7]])
+        best = c.prox(m, rho)[0, 0]
+        obj = lambda a: c.penalty(np.array([[a]])) + rho / 2 * (a - 0.7) ** 2
+        for candidate in np.linspace(-1, 1, 2001):
+            assert obj(best) <= obj(candidate) + 1e-9
+
+    def test_ridge_prox_shrinks(self):
+        c = RidgeConstraint(weight=1.0)
+        m = np.ones((2, 2))
+        np.testing.assert_allclose(c.prox(m, 1.0), 0.5 * m)
+
+    def test_unconstrained_identity(self):
+        c = UnconstrainedConstraint()
+        m = np.random.default_rng(0).random((3, 3))
+        np.testing.assert_allclose(c.prox(m, 5.0), m)
+        assert c.penalty(m) == 0.0
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            LassoConstraint(weight=-1)
+        with pytest.raises(ValueError):
+            RidgeConstraint(weight=-1)
+
+
+class TestAdmmModeSolve:
+    def _problem(self, rng, dim=12, rank=3):
+        a_true = rng.random((dim, rank))
+        v = rng.random((rank + 2, rank))
+        v = v.T @ v + 0.5 * np.eye(rank)
+        m = a_true @ v
+        return m, v, a_true
+
+    def test_unconstrained_matches_direct_solve(self, rng):
+        m, v, a_true = self._problem(rng)
+        a, _, _, iters = admm_mode_solve(m, v, UnconstrainedConstraint())
+        np.testing.assert_allclose(a, a_true, atol=1e-8)
+        assert iters == 0
+
+    def test_nonneg_converges_to_constrained_optimum(self, rng):
+        m, v, a_true = self._problem(rng)  # a_true >= 0 -> NN optimum is a_true
+        a, _, _, _ = admm_mode_solve(
+            m, v, NonNegConstraint(), max_iterations=300, tolerance=1e-8
+        )
+        np.testing.assert_allclose(a, a_true, atol=1e-4)
+        assert (a >= 0).all()
+
+    def test_nonneg_active_constraint(self, rng):
+        """When the unconstrained optimum has negatives, NN must differ and
+        stay feasible with an objective no worse than clipping."""
+        rank = 2
+        v = np.eye(rank)
+        m = np.array([[-1.0, 2.0], [3.0, -0.5]])  # unconstrained opt = m
+        a, _, _, _ = admm_mode_solve(m, v, NonNegConstraint(),
+                                     max_iterations=200, tolerance=1e-8)
+        assert (a >= 0).all()
+        # for V=I the NN optimum is exactly clip(m, 0)
+        np.testing.assert_allclose(a, np.maximum(m, 0.0), atol=1e-5)
+
+    def test_warm_start_reduces_iterations(self, rng):
+        m, v, _ = self._problem(rng)
+        a1, aux, dual, it_cold = admm_mode_solve(
+            m, v, NonNegConstraint(), max_iterations=300, tolerance=1e-8
+        )
+        _, _, _, it_warm = admm_mode_solve(
+            m, v, NonNegConstraint(), max_iterations=300, tolerance=1e-8,
+            warm_aux=aux, warm_dual=dual,
+        )
+        assert it_warm < it_cold
+
+    def test_ridge_closed_form(self, rng):
+        m, v, _ = self._problem(rng)
+        w = 0.7
+        a, _, _, iters = admm_mode_solve(m, v, RidgeConstraint(weight=w))
+        expected = np.linalg.solve((v + w * np.eye(v.shape[0])).T, m.T).T
+        np.testing.assert_allclose(a, expected, atol=1e-8)
+        assert iters == 0
+
+
+class TestConstrainedCpAls:
+    def test_nonneg_fits_positive_data(self, planted):
+        res = constrained_cp_als(planted, 3, "nonneg", max_iterations=40,
+                                 tolerance=0, seed=1)
+        assert res.fit > 0.97
+        for f in res.factors:
+            assert (f >= -1e-12).all()
+
+    def test_unconstrained_close_to_cp_als(self, planted):
+        res = constrained_cp_als(planted, 3, "none", max_iterations=40,
+                                 tolerance=0, seed=1)
+        assert res.fit > 0.97
+
+    def test_l1_induces_sparsity(self, planted):
+        dense = constrained_cp_als(planted, 5, "none", max_iterations=25,
+                                   tolerance=0, seed=1)
+        sparse = constrained_cp_als(
+            planted, 5, LassoConstraint(weight=0.5),
+            max_iterations=25, tolerance=0, seed=1,
+        )
+        nnz_dense = sum(int((np.abs(f) > 1e-8).sum()) for f in dense.factors)
+        nnz_sparse = sum(int((np.abs(f) > 1e-8).sum()) for f in sparse.factors)
+        assert nnz_sparse < nnz_dense
+
+    def test_per_mode_constraints(self, planted):
+        res = constrained_cp_als(
+            planted, 2, ["nonneg", "none", "nonneg"],
+            max_iterations=10, tolerance=0, seed=1,
+        )
+        assert (res.factors[0] >= -1e-12).all()
+        assert (res.factors[2] >= -1e-12).all()
+        assert res.constraints[1].name == "none"
+
+    def test_per_mode_count_checked(self, planted):
+        with pytest.raises(ValueError, match="constraints"):
+            constrained_cp_als(planted, 2, ["nonneg", "none"])
+
+    def test_convergence_flag(self, planted):
+        # AO-ADMM's fit plateaus with small wiggle, so use a loose tolerance
+        res = constrained_cp_als(planted, 3, "nonneg", max_iterations=200,
+                                 tolerance=1e-4, seed=1)
+        assert res.converged
+        assert res.iterations < 200
+
+    def test_fit_nondecreasing_tail(self, planted):
+        res = constrained_cp_als(planted, 3, "nonneg", max_iterations=30,
+                                 tolerance=0, seed=1)
+        fits = np.asarray(res.fits)
+        # AO-ADMM is not strictly monotone, but the trend must be upward
+        assert fits[-1] > fits[0]
+        assert fits[-1] >= fits.max() - 1e-3
+
+    def test_predict(self, planted):
+        res = constrained_cp_als(planted, 3, "nonneg", max_iterations=30,
+                                 tolerance=0, seed=1)
+        pred = res.predict(planted.coords[:50])
+        np.testing.assert_allclose(pred, planted.values[:50], atol=0.5)

@@ -1,0 +1,105 @@
+"""Unit tests for the CSF traversal API and the public API surface."""
+
+import numpy as np
+import pytest
+
+from repro.csf.build import build_csf
+from repro.csf.traverse import (
+    CsfNode,
+    iter_children,
+    iter_fibers,
+    iter_leaves,
+    iter_slices,
+    walk_paths,
+)
+from repro.tensor.generate import random_tensor
+
+
+class TestTraversal:
+    def test_slices_match_fids(self, small_tensor):
+        csf = build_csf(small_tensor)
+        slices = list(iter_slices(csf))
+        assert len(slices) == csf.nslices
+        np.testing.assert_array_equal([s.index for s in slices], csf.fids[0])
+        assert all(s.level == 0 for s in slices)
+
+    def test_children_counts(self, small_tensor):
+        csf = build_csf(small_tensor)
+        total_fibers = 0
+        for s in iter_slices(csf):
+            total_fibers += len(list(iter_fibers(csf, s)))
+        assert total_fibers == csf.nfibs[1]
+
+    def test_leaves_cover_all_nonzeros(self, small_tensor):
+        csf = build_csf(small_tensor)
+        count = 0
+        for s in iter_slices(csf):
+            for f in iter_fibers(csf, s):
+                count += len(list(iter_leaves(csf, f)))
+        assert count == small_tensor.nnz
+
+    def test_walk_paths_matches_tensor(self, small_tensor):
+        csf = build_csf(small_tensor)
+        dense = small_tensor.to_dense()
+        seen = 0
+        for coords, value in walk_paths(csf):
+            assert dense[coords] == pytest.approx(value)
+            seen += 1
+        assert seen == small_tensor.nnz
+
+    def test_walk_paths_order4(self, order4_tensor):
+        csf = build_csf(order4_tensor)
+        dense = order4_tensor.to_dense()
+        paths = list(walk_paths(csf))
+        assert len(paths) == order4_tensor.nnz
+        for coords, value in paths:
+            assert dense[coords] == pytest.approx(value)
+
+    def test_walk_paths_order2(self):
+        t = random_tensor((6, 5), 12, seed=0)
+        csf = build_csf(t)
+        dense = t.to_dense()
+        for coords, value in walk_paths(csf):
+            assert dense[coords] == pytest.approx(value)
+
+    def test_leaf_has_no_children(self, small_tensor):
+        csf = build_csf(small_tensor)
+        leaf = CsfNode(csf.nmodes - 1, 0, int(csf.fids[-1][0]))
+        with pytest.raises(ValueError, match="leaves"):
+            list(iter_children(csf, leaf))
+
+    def test_iter_fibers_wants_root(self, small_tensor):
+        csf = build_csf(small_tensor)
+        non_root = CsfNode(1, 0, int(csf.fids[1][0]))
+        with pytest.raises(ValueError, match="root-level"):
+            iter_fibers(csf, non_root)
+
+    def test_iter_leaves_level_checked(self, small_tensor):
+        csf = build_csf(small_tensor)
+        root = next(iter_slices(csf))
+        with pytest.raises(ValueError, match="level"):
+            list(iter_leaves(csf, root))
+
+
+class TestPublicApiSurface:
+    def test_top_level_all_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_subpackage_all_resolves(self):
+        import importlib
+
+        for pkg in ("repro.tensor", "repro.csf", "repro.linalg", "repro.mttkrp",
+                    "repro.runtime", "repro.core", "repro.perfmodel",
+                    "repro.completion", "repro.constrained", "repro.distributed",
+                    "repro.analysis", "repro.tucker", "repro.bench"):
+            module = importlib.import_module(pkg)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{pkg}.__all__ lists missing {name!r}"
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

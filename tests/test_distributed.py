@@ -1,0 +1,192 @@
+"""Unit tests for the simulated distributed (medium-grained) CP-ALS."""
+
+import numpy as np
+import pytest
+
+from repro.core.cpals import cp_als
+from repro.core.options import CpalsOptions
+from repro.distributed.comm import CommStats
+from repro.distributed.cpals import distributed_cp_als
+from repro.distributed.grid import LocaleGrid, choose_grid
+from repro.distributed.partition import mode_chunks, partition_medium_grain
+from repro.tensor.generate import planted_low_rank, random_tensor
+
+
+@pytest.fixture()
+def tensor():
+    return random_tensor((24, 18, 30), 1500, seed=6)
+
+
+class TestLocaleGrid:
+    def test_basic(self):
+        g = LocaleGrid((2, 3, 4))
+        assert g.nlocales == 24
+        assert g.nmodes == 3
+        assert len(g.coords()) == 24
+
+    def test_rank_of_row_major(self):
+        g = LocaleGrid((2, 3))
+        assert g.rank_of((0, 0)) == 0
+        assert g.rank_of((0, 2)) == 2
+        assert g.rank_of((1, 0)) == 3
+        ranks = [g.rank_of(c) for c in g.coords()]
+        assert ranks == list(range(6))
+
+    def test_rank_of_validation(self):
+        g = LocaleGrid((2, 2))
+        with pytest.raises(ValueError):
+            g.rank_of((2, 0))
+        with pytest.raises(ValueError):
+            g.rank_of((0,))
+
+    def test_layer_ranks(self):
+        g = LocaleGrid((2, 3))
+        assert g.layer_ranks(0, 0) == [0, 1, 2]
+        assert g.layer_ranks(0, 1) == [3, 4, 5]
+        assert g.layer_ranks(1, 1) == [1, 4]
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            LocaleGrid(())
+        with pytest.raises(ValueError):
+            LocaleGrid((2, 0))
+
+
+class TestChooseGrid:
+    def test_total_locales(self):
+        for n in (1, 2, 4, 6, 8, 12, 16):
+            g = choose_grid((100, 200, 300), n)
+            assert g.nlocales == n
+
+    def test_long_modes_get_more_cuts(self):
+        g = choose_grid((12_000, 9_000, 29_000), 16)
+        assert g.shape[2] == max(g.shape)  # the 29k mode
+
+    def test_too_many_locales_for_tiny_mode(self):
+        with pytest.raises(ValueError, match="cannot cut"):
+            choose_grid((2, 2, 2), 64)
+
+    def test_single_locale(self):
+        assert choose_grid((5, 5, 5), 1).shape == (1, 1, 1)
+
+
+class TestPartition:
+    def test_mode_chunks_cover(self, tensor):
+        for m in range(3):
+            b = mode_chunks(tensor, m, 4)
+            assert b[0] == 0 and b[-1] == tensor.dims[m]
+            assert (np.diff(b) > 0).all()
+
+    def test_mode_chunks_balanced(self, tensor):
+        b = mode_chunks(tensor, 0, 3)
+        hist = np.bincount(tensor.mode_indices(0), minlength=tensor.dims[0])
+        loads = [hist[b[i]:b[i + 1]].sum() for i in range(3)]
+        assert max(loads) <= 2 * tensor.nnz / 3
+
+    def test_mode_chunks_too_many(self, tensor):
+        with pytest.raises(ValueError, match="cannot cut"):
+            mode_chunks(tensor, 0, tensor.dims[0] + 1)
+
+    def test_partition_conserves_nonzeros(self, tensor):
+        part = partition_medium_grain(tensor, LocaleGrid((2, 2, 2)))
+        assert sum(part.nnz_per_locale) == tensor.nnz
+        # every nonzero lives in its owner's sub-volume
+        for rank, sub in enumerate(part.locale_tensors):
+            for m in range(3):
+                if sub.nnz == 0:
+                    continue
+                layers = {part.layer_of_index(m, int(i)) for i in sub.mode_indices(m)}
+                assert len(layers) == 1  # all in one layer per mode
+
+    def test_partition_imbalance_reasonable(self, tensor):
+        part = partition_medium_grain(tensor, LocaleGrid((2, 2, 2)))
+        assert 1.0 <= part.imbalance < 2.0
+
+    def test_row_blocks_tile_mode(self, tensor):
+        part = partition_medium_grain(tensor, LocaleGrid((2, 3, 1)))
+        covered = []
+        for layer in range(3):
+            lo, hi = part.row_block(1, layer)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(tensor.dims[1]))
+
+    def test_grid_order_mismatch(self, tensor):
+        with pytest.raises(ValueError, match="order"):
+            partition_medium_grain(tensor, LocaleGrid((2, 2)))
+
+
+class TestCommStats:
+    def test_accumulation(self):
+        c = CommStats()
+        c.record_fold(0, 10, 3)
+        c.record_expand(0, 7, 3)
+        c.record_fold(1, 5, 1)
+        assert c.fold_rows == 15
+        assert c.expand_rows == 7
+        assert c.total_messages == 7
+        assert c.per_mode[0] == (10, 7)
+        assert c.per_mode[1] == (5, 0)
+
+    def test_volume_bytes(self):
+        c = CommStats()
+        c.record_fold(0, 4, 1)
+        c.record_expand(0, 6, 1)
+        assert c.volume_bytes(rank=35) == 10 * 35 * 8
+
+    def test_merge(self):
+        a, b = CommStats(), CommStats()
+        a.record_fold(0, 1, 1)
+        b.record_fold(0, 2, 2)
+        b.record_expand(2, 3, 1)
+        a.merge(b)
+        assert a.fold_rows == 3
+        assert a.per_mode[0] == (3, 0)
+        assert a.per_mode[2] == (0, 3)
+
+
+class TestDistributedCpAls:
+    @pytest.mark.parametrize("nlocales", [1, 2, 4, 8])
+    def test_matches_serial_numerics(self, tensor, nlocales):
+        serial = cp_als(tensor, 3, CpalsOptions(max_iterations=5, tolerance=0, seed=5))
+        dist = distributed_cp_als(
+            tensor, 3, nlocales=nlocales, max_iterations=5, tolerance=0, seed=5
+        )
+        assert dist.fit == pytest.approx(serial.fit, abs=1e-8)
+        for a, b in zip(dist.kruskal.factors, serial.kruskal.factors):
+            np.testing.assert_allclose(a, b, atol=1e-8)
+
+    def test_explicit_grid(self, tensor):
+        dist = distributed_cp_als(
+            tensor, 2, grid=LocaleGrid((2, 1, 2)), max_iterations=3, tolerance=0
+        )
+        assert dist.grid.shape == (2, 1, 2)
+
+    def test_single_locale_no_comm(self, tensor):
+        dist = distributed_cp_als(tensor, 2, nlocales=1, max_iterations=3, tolerance=0)
+        assert dist.comm.fold_rows == 0
+        assert dist.comm.expand_rows == 0
+        assert dist.comm.total_messages == 0
+
+    def test_comm_volume_grows_with_locales(self, tensor):
+        v4 = distributed_cp_als(tensor, 2, nlocales=4, max_iterations=3,
+                                tolerance=0).comm.volume_bytes(2)
+        v8 = distributed_cp_als(tensor, 2, nlocales=8, max_iterations=3,
+                                tolerance=0).comm.volume_bytes(2)
+        assert 0 < v4 < v8
+
+    def test_planted_recovery_distributed(self):
+        tensor, _ = planted_low_rank((12, 10, 8), 2, 12 * 10 * 8, seed=7)
+        dist = distributed_cp_als(tensor, 2, nlocales=4, max_iterations=60, tolerance=0)
+        assert dist.fit > 0.99
+
+    def test_convergence_flag(self, tensor):
+        dist = distributed_cp_als(tensor, 2, nlocales=2, max_iterations=100,
+                                  tolerance=1e-3)
+        assert dist.converged is (dist.iterations < 100)
+
+    def test_empty_rejected(self):
+        from repro.tensor.coo import SparseTensor
+
+        t = SparseTensor(np.empty((0, 3), dtype=int), np.empty(0), (4, 4, 4))
+        with pytest.raises(ValueError, match="empty"):
+            distributed_cp_als(t, 2)

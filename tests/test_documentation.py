@@ -1,0 +1,75 @@
+"""Documentation coverage: every public item must carry a docstring.
+
+Walks every ``__all__`` export of every subpackage and asserts a
+non-trivial docstring on modules, classes, functions, and public methods —
+the deliverable-grade documentation bar, enforced.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.tensor", "repro.csf", "repro.linalg", "repro.mttkrp",
+    "repro.runtime", "repro.core", "repro.perfmodel", "repro.completion",
+    "repro.constrained", "repro.distributed", "repro.analysis",
+    "repro.tucker", "repro.bench",
+]
+
+
+def _all_modules():
+    mods = []
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        mods.append(pkg)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                if info.name.startswith("_") and info.name not in ("_util",):
+                    continue
+                mods.append(importlib.import_module(f"{pkg_name}.{info.name}"))
+    return {m.__name__: m for m in mods}.values()
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [
+            m.__name__ for m in _all_modules()
+            if not (m.__doc__ and len(m.__doc__.strip()) > 20)
+        ]
+        assert not undocumented, f"modules without real docstrings: {undocumented}"
+
+    def test_every_public_export_documented(self):
+        missing = []
+        for module in _all_modules():
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if isinstance(obj, (int, float, str, tuple, dict, list, frozenset)):
+                    continue  # constants document themselves at the definition
+                doc = inspect.getdoc(obj)
+                if not doc or len(doc.strip()) < 10:
+                    missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"public items without docstrings: {sorted(set(missing))}"
+
+    def test_public_dataclass_methods_documented(self):
+        """Public methods of the central result/data types carry docs."""
+        from repro.core.cpals import CpalsResult
+        from repro.core.kruskal import KruskalTensor
+        from repro.csf.tree import CsfTensor
+        from repro.tensor.coo import SparseTensor
+        from repro.tucker.hooi import TuckerResult
+
+        missing = []
+        for cls in (SparseTensor, CsfTensor, KruskalTensor, CpalsResult, TuckerResult):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(member) or isinstance(member, property):
+                    target = member.fget if isinstance(member, property) else member
+                    if not inspect.getdoc(target):
+                        missing.append(f"{cls.__name__}.{name}")
+        assert not missing, f"undocumented public members: {missing}"

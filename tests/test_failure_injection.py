@@ -1,0 +1,118 @@
+"""Failure-injection tests: errors inside parallel regions must surface
+cleanly and leave the runtime reusable."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.env import ChapelEnv
+from repro.runtime.locks import make_mutex_pool
+from repro.runtime.schedule import forall_scheduled
+from repro.runtime.tasking import make_tasking_layer
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class TestTaskFailures:
+    def test_single_task_failure_propagates(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=4))
+
+        def body(tid):
+            if tid == 2:
+                raise Boom(f"task {tid}")
+
+        with pytest.raises(Boom):
+            layer.coforall(4, body)
+
+    def test_other_tasks_complete_before_raise(self):
+        """coforall joins all tasks before propagating — no orphan work."""
+        layer = make_tasking_layer(ChapelEnv(num_tasks=4))
+        completed = []
+        lock = threading.Lock()
+
+        def body(tid):
+            if tid == 0:
+                raise Boom()
+            with lock:
+                completed.append(tid)
+
+        with pytest.raises(Boom):
+            layer.coforall(4, body)
+        assert sorted(completed) == [1, 2, 3]
+
+    def test_layer_reusable_after_failure(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        with pytest.raises(Boom):
+            layer.coforall(3, lambda tid: (_ for _ in ()).throw(Boom()))
+        ran = []
+        layer.coforall(3, lambda tid: ran.append(tid))
+        assert len(ran) == 3
+
+    def test_forall_failure_propagates(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=4))
+
+        def body(lo, hi, tid):
+            if lo <= 10 < hi:
+                raise Boom()
+
+        with pytest.raises(Boom):
+            layer.forall(100, body)
+
+    @pytest.mark.parametrize("schedule", ["dynamic", "guided"])
+    def test_scheduled_failure_propagates(self, schedule):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=4))
+
+        def body(lo, hi, tid):
+            if lo <= 50 < hi:
+                raise Boom()
+
+        with pytest.raises(Boom):
+            forall_scheduled(layer, 200, body, schedule=schedule, chunk=8)
+
+
+class TestLockFailures:
+    @pytest.mark.parametrize("kind", ["atomic", "sync"])
+    def test_guard_releases_on_exception(self, kind):
+        """A raising critical section must not leave the lock held."""
+        pool = make_mutex_pool(kind, size=2)
+        with pytest.raises(Boom):
+            with pool.guard_row(7):
+                raise Boom()
+        # lock must be free again: a re-acquire completes immediately
+        acquired = []
+
+        def try_acquire():
+            with pool.guard_row(7):
+                acquired.append(True)
+
+        t = threading.Thread(target=try_acquire)
+        t.start()
+        t.join(timeout=5)
+        assert acquired == [True]
+
+    def test_failing_parallel_mttkrp_releases_locks(self, factors_for):
+        """Inject a failure mid-kernel; the shared pool must stay usable."""
+        from repro.csf.build import build_csf_set
+        from repro.mttkrp.variants import mttkrp_csf
+        from repro.tensor.generate import random_tensor
+
+        tensor = random_tensor((30, 5, 6), 100, seed=1)
+        factors = factors_for(tensor, 2)
+        cs = build_csf_set(tensor)
+        nonroot = next(m for m in range(3) if cs.tree_for_mode(m)[1] != "root")
+        pool = make_mutex_pool("atomic", size=4)
+
+        bad = [f.copy() for f in factors]
+        bad[nonroot] = bad[nonroot][:-1]  # wrong shape -> raises inside
+        with pytest.raises(ValueError):
+            mttkrp_csf(cs, bad, nonroot, env=ChapelEnv(num_tasks=3),
+                       pool=pool, force_locks=True)
+
+        # pool still works for the correct call
+        out, info = mttkrp_csf(cs, factors, nonroot, env=ChapelEnv(num_tasks=3),
+                               pool=pool, force_locks=True)
+        assert info.used_locks
+        assert np.isfinite(out).all()

@@ -1,0 +1,116 @@
+"""Integration tests: end-to-end flows across every subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.cpals import cp_als
+from repro.core.options import CpalsOptions
+from repro.runtime.env import ChapelEnv
+from repro.tensor.generate import planted_low_rank, synthetic_dataset
+from repro.tensor.io import load_tns, save_tns
+
+
+class TestFileToDecomposition:
+    def test_tns_roundtrip_then_decompose(self, tmp_path):
+        tensor, _ = planted_low_rank((10, 8, 6), 2, 300, seed=3)
+        path = tmp_path / "planted.tns"
+        save_tns(tensor, path)
+        loaded = load_tns(path, dims=tensor.dims)
+        result = cp_als(loaded, 2, CpalsOptions(max_iterations=40, tolerance=0.0))
+        direct = cp_als(tensor, 2, CpalsOptions(max_iterations=40, tolerance=0.0))
+        assert result.fit == pytest.approx(direct.fit, abs=1e-9)
+
+
+class TestDatasetDecomposition:
+    @pytest.mark.parametrize("name", ["yelp", "nell-2"])
+    def test_synthetic_dataset_decomposes(self, name):
+        tensor = synthetic_dataset(name, scale=0.15)
+        result = cp_als(tensor, 4, CpalsOptions(max_iterations=5, tolerance=0.0))
+        assert np.isfinite(result.fit)
+        assert result.iterations == 5
+        # timers cover the paper's six routines
+        assert result.timers.grand_total > 0
+
+    def test_yelp_uses_locks_in_parallel(self):
+        """End-to-end check of the paper's §V-D2 dichotomy at bench scale."""
+        tensor = synthetic_dataset("yelp")
+        opts = CpalsOptions(
+            max_iterations=1, tolerance=0.0, env=ChapelEnv(num_tasks=4)
+        )
+        result = cp_als(tensor, 4, opts)
+        assert any(i.used_locks for i in result.mttkrp_infos)
+        assert result.counters.lock_acquires > 0
+
+    def test_nell2_stays_lock_free_in_parallel(self):
+        tensor = synthetic_dataset("nell-2")
+        opts = CpalsOptions(
+            max_iterations=1, tolerance=0.0, env=ChapelEnv(num_tasks=4)
+        )
+        result = cp_als(tensor, 4, opts)
+        assert not any(i.used_locks for i in result.mttkrp_infos)
+        assert result.counters.lock_acquires == 0
+
+    def test_yelp_serial_never_locks(self):
+        tensor = synthetic_dataset("yelp")
+        result = cp_als(tensor, 4, CpalsOptions(max_iterations=1, tolerance=0.0))
+        assert not any(i.used_locks for i in result.mttkrp_infos)
+
+
+class TestFullConfigurationMatrix:
+    """Numerical results must be identical across every runtime config."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        tensor, _ = planted_low_rank((9, 7, 8), 2, 200, seed=6)
+        ref = cp_als(tensor, 2, CpalsOptions(max_iterations=4, tolerance=0.0, seed=1))
+        return tensor, ref
+
+    @pytest.mark.parametrize("mutex_kind", ["atomic", "sync"])
+    @pytest.mark.parametrize("tasking_layer", ["qthreads", "fifo"])
+    def test_lock_and_layer_invariance(self, reference, mutex_kind, tasking_layer):
+        tensor, ref = reference
+        opts = CpalsOptions(
+            max_iterations=4, tolerance=0.0, seed=1,
+            env=ChapelEnv(num_tasks=3, tasking_layer=tasking_layer),
+            mutex_kind=mutex_kind, force_locks=True,
+        )
+        result = cp_als(tensor, 2, opts)
+        assert result.fit == pytest.approx(ref.fit, abs=1e-9)
+
+    @pytest.mark.parametrize("variant", ["slicing", "index2d", "pointer"])
+    def test_variant_invariance(self, reference, variant):
+        tensor, ref = reference
+        opts = CpalsOptions(max_iterations=4, tolerance=0.0, seed=1, variant=variant)
+        result = cp_als(tensor, 2, opts)
+        assert result.fit == pytest.approx(ref.fit, abs=1e-9)
+
+    @pytest.mark.parametrize("sort_variant", ["initial", "all_opts"])
+    def test_sort_variant_invariance(self, reference, sort_variant):
+        tensor, ref = reference
+        opts = CpalsOptions(
+            max_iterations=4, tolerance=0.0, seed=1, sort_variant=sort_variant
+        )
+        result = cp_als(tensor, 2, opts)
+        assert result.fit == pytest.approx(ref.fit, abs=1e-9)
+
+
+class TestCompletionStyleUse:
+    """Using the Kruskal model to predict held-out entries (the API's
+    downstream use case beyond raw decomposition)."""
+
+    def test_heldout_prediction_beats_mean(self):
+        tensor, factors = planted_low_rank((12, 10, 8), 2, 900, seed=8)
+        # hold out 100 entries
+        train_idx = np.arange(800)
+        test_idx = np.arange(800, tensor.nnz)
+        from repro.tensor.coo import SparseTensor
+
+        train = SparseTensor(
+            tensor.coords[train_idx], tensor.values[train_idx], tensor.dims
+        )
+        result = cp_als(train, 2, CpalsOptions(max_iterations=60, tolerance=0.0))
+        pred = result.kruskal.predict(tensor.coords[test_idx])
+        truth = tensor.values[test_idx]
+        rmse_model = np.sqrt(np.mean((pred - truth) ** 2))
+        rmse_mean = np.sqrt(np.mean((truth.mean() - truth) ** 2))
+        assert rmse_model < rmse_mean

@@ -1,0 +1,103 @@
+"""Cross-configuration integration sweep.
+
+One planted tensor, every runtime configuration: the numerics must be
+bit-for-bit reproducible within each configuration and equal across
+configurations up to floating-point reduction order.  Also cross-checks
+the three decomposition families (CP, Tucker, distributed CP) against
+each other on the same data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cpals import cp_als
+from repro.core.options import CpalsOptions
+from repro.distributed.cpals import distributed_cp_als
+from repro.runtime.env import ChapelEnv
+from repro.tensor.generate import planted_low_rank
+from repro.tucker.hooi import tucker_hooi
+
+
+@pytest.fixture(scope="module")
+def planted3():
+    tensor, factors = planted_low_rank((14, 11, 9), 3, 14 * 11 * 9, seed=21)
+    return tensor, factors
+
+
+@pytest.fixture(scope="module")
+def reference_fit(planted3):
+    tensor, _ = planted3
+    return cp_als(tensor, 3, CpalsOptions(max_iterations=6, tolerance=0, seed=9)).fit
+
+
+CONFIGS = [
+    # (variant, mutex, layer, allocation, ntasks, force_locks)
+    ("vectorized", "atomic", "qthreads", "two", 1, None),
+    ("vectorized", "atomic", "qthreads", "two", 4, True),
+    ("vectorized", "sync", "qthreads", "two", 4, True),
+    ("vectorized", "sync", "fifo", "two", 4, True),
+    ("vectorized", "atomic", "fifo", "one", 3, True),
+    ("vectorized", "atomic", "qthreads", "all", 4, None),
+    ("pointer", "atomic", "qthreads", "two", 2, True),
+    ("pointer", "sync", "fifo", "two", 3, True),
+    ("index2d", "atomic", "qthreads", "one", 2, True),
+    ("slicing", "sync", "qthreads", "two", 2, True),
+    ("vectorized", "atomic", "qthreads", "two", 7, False),
+]
+
+
+@pytest.mark.parametrize(
+    "variant,mutex,layer,allocation,ntasks,force_locks",
+    CONFIGS,
+    ids=["-".join(str(x) for x in c) for c in CONFIGS],
+)
+def test_all_configurations_agree(
+    planted3, reference_fit, variant, mutex, layer, allocation, ntasks, force_locks
+):
+    tensor, _ = planted3
+    opts = CpalsOptions(
+        max_iterations=6, tolerance=0, seed=9,
+        variant=variant, mutex_kind=mutex, allocation=allocation,
+        env=ChapelEnv(num_tasks=ntasks, tasking_layer=layer),
+        force_locks=force_locks,
+    )
+    result = cp_als(tensor, 3, opts)
+    assert result.fit == pytest.approx(reference_fit, abs=1e-9)
+
+
+def test_distributed_matches_reference(planted3, reference_fit):
+    tensor, _ = planted3
+    dist = distributed_cp_als(tensor, 3, nlocales=6, max_iterations=6,
+                              tolerance=0, seed=9)
+    assert dist.fit == pytest.approx(reference_fit, abs=1e-9)
+
+
+def test_three_families_fit_planted_cp_data(planted3):
+    """CP data is a special case of Tucker, so all families must fit it."""
+    tensor, _ = planted3
+    cp = cp_als(tensor, 3, CpalsOptions(max_iterations=80, tolerance=0, seed=9))
+    tk = tucker_hooi(tensor, (3, 3, 3), max_iterations=40, tolerance=0, seed=9)
+    assert cp.fit > 0.97
+    assert tk.fit > 0.97
+    # Tucker's search space contains CP's, so at equal ranks it fits at
+    # least as well once both converge
+    assert tk.fit >= cp.fit - 0.01
+
+
+def test_completion_families_agree_with_cp_on_dense_data(planted3):
+    """Fully observed data: completion-ALS approaches plain CP's quality."""
+    from repro.completion.driver import CompletionOptions, complete
+
+    tensor, _ = planted3
+    res = complete(
+        tensor, 3,
+        CompletionOptions(algorithm="als", max_epochs=40,
+                          regularization=1e-6, validation_fraction=0.0, seed=9),
+    )
+    # completion carries no λ; compare via relative residual
+    from repro.completion.losses import rmse
+
+    rel = rmse(tensor.coords, tensor.values, res.factors) / float(
+        np.sqrt(np.mean(tensor.values**2))
+    )
+    assert rel < 0.05

@@ -1,0 +1,134 @@
+"""Focused tests for less-traveled branches across the codebase."""
+
+import numpy as np
+import pytest
+
+from repro.csf.build import build_csf_set
+from repro.mttkrp.variants import mttkrp_csf
+from repro.perfmodel.simulate import _mode_algorithms, _ntrees
+from repro.runtime.env import ChapelEnv
+from repro.runtime.locks import AtomicLockPool
+from repro.tensor.generate import random_tensor
+
+
+class TestScipyBridge:
+    def test_matches_dense_matricize(self, small_tensor):
+        for mode in range(3):
+            sp = small_tensor.to_scipy(mode)
+            np.testing.assert_allclose(
+                sp.toarray(), small_tensor.matricize(mode)
+            )
+
+    def test_empty_tensor(self):
+        from repro.tensor.coo import SparseTensor
+
+        t = SparseTensor(np.empty((0, 3), dtype=int), np.empty(0), (4, 5, 6))
+        sp = t.to_scipy(1)
+        assert sp.shape == (5, 24)
+        assert sp.nnz == 0
+
+    def test_duplicates_summed_by_scipy(self):
+        from repro.tensor.coo import SparseTensor
+
+        coords = np.array([[0, 0], [0, 0]])
+        t = SparseTensor(coords, np.array([1.0, 2.0]), (2, 2))
+        assert t.to_scipy(0)[0, 0] == pytest.approx(3.0)
+
+    def test_svds_integration(self, small_tensor):
+        """The bridge's raison d'être: sparse SVD of an unfolding."""
+        from scipy.sparse.linalg import svds
+
+        u, s, vt = svds(small_tensor.to_scipy(0), k=3)
+        assert u.shape == (small_tensor.dims[0], 3)
+        assert (s >= 0).all()
+
+
+class TestLockPoolBranches:
+    def test_atomic_contended_counts_yields(self):
+        import threading
+        import time
+
+        pool = AtomicLockPool(size=1)
+        pool.acquire(0)
+        done = []
+
+        def blocked():
+            pool.acquire(0)
+            pool.release(0)
+            done.append(True)
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        time.sleep(0.05)
+        assert pool.counters.task_yields > 0  # spinning while we hold it
+        pool.release(0)
+        t.join(timeout=5)
+        assert done
+        assert pool.counters.lock_contended >= 1
+
+
+class TestDispatcherBranches:
+    def test_force_locks_serial_is_still_lock_free(self, small_tensor, factors_for):
+        factors = factors_for(small_tensor, 3)
+        cs = build_csf_set(small_tensor)
+        nonroot = next(m for m in range(3) if cs.tree_for_mode(m)[1] != "root")
+        _, info = mttkrp_csf(cs, factors, nonroot, force_locks=True,
+                             env=ChapelEnv(num_tasks=1))
+        assert not info.used_locks  # serial never locks
+
+    def test_force_locks_false_overrides_policy(self, factors_for):
+        # a tensor whose policy WOULD lock (large dim, few nonzeros)
+        t = random_tensor((400, 4, 5), 60, seed=1)
+        factors = factors_for(t, 2)
+        cs = build_csf_set(t)
+        nonroot = next(m for m in range(3) if cs.tree_for_mode(m)[1] != "root")
+        _, info = mttkrp_csf(cs, factors, nonroot, force_locks=False,
+                             env=ChapelEnv(num_tasks=8))
+        assert not info.used_locks
+
+
+class TestSimulatorHelpers:
+    def test_mode_algorithms_two(self):
+        algos = _mode_algorithms((41_000, 11_000, 75_000), "two")
+        assert algos[1] == "root"    # smallest
+        assert algos[2] == "root"    # biggest
+        assert algos[0] == "internal"
+
+    def test_mode_algorithms_one(self):
+        algos = _mode_algorithms((41_000, 11_000, 75_000), "one")
+        assert algos[1] == "root"
+        assert algos[0] == "internal"
+        assert algos[2] == "internal"
+
+    def test_mode_algorithms_all(self):
+        algos = _mode_algorithms((10, 20, 30), "all")
+        assert set(algos.values()) == {"root"}
+
+    def test_ntrees(self):
+        assert _ntrees(3, "one") == 1
+        assert _ntrees(3, "two") == 2
+        assert _ntrees(3, "all") == 3
+        assert _ntrees(1, "two") == 1
+
+
+class TestSummary:
+    def test_summary_lock_free(self, small_tensor):
+        from repro.core.cpals import cp_als
+        from repro.core.options import CpalsOptions
+
+        result = cp_als(small_tensor, 2, CpalsOptions(max_iterations=1, tolerance=0))
+        text = result.summary()
+        assert "fit =" in text
+        assert "no-lock MTTKRP" in text
+        assert "MTTKRP" in text and "Sort" in text
+
+    def test_summary_with_locks(self, factors_for):
+        from repro.core.cpals import cp_als
+        from repro.core.options import CpalsOptions
+
+        t = random_tensor((300, 5, 6), 80, seed=2)
+        opts = CpalsOptions(max_iterations=1, tolerance=0,
+                            env=ChapelEnv(num_tasks=4), force_locks=True)
+        result = cp_als(t, 2, opts)
+        if any(i.used_locks for i in result.mttkrp_infos):
+            assert "mutex-pool MTTKRP modes" in result.summary()

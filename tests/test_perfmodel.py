@@ -1,0 +1,273 @@
+"""Unit tests for the calibrated performance model.
+
+These encode the paper's *shape criteria* (DESIGN.md §4): the calibrated
+model must reproduce who wins, by roughly what factor, and where the
+crossovers fall — for every figure.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.perfmodel.calibration import CALIBRATION
+from repro.perfmodel.contention import contention_probability, lock_overhead_seconds
+from repro.perfmodel.interference import (
+    inverse_interference_factor,
+    norm_interference_factor,
+)
+from repro.perfmodel.routines import amdahl, sort_time
+from repro.perfmodel.simulate import (
+    SimConfig,
+    paper_scale_stats,
+    simulate_cpals,
+)
+
+TASKS = (1, 2, 4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def yelp():
+    return paper_scale_stats("yelp")
+
+
+@pytest.fixture(scope="module")
+def nell2():
+    return paper_scale_stats("nell-2")
+
+
+class TestAmdahl:
+    def test_serial(self):
+        assert amdahl(10.0, 1, 0.1) == pytest.approx(10.0)
+
+    def test_perfect_scaling(self):
+        assert amdahl(32.0, 32, 0.0) == pytest.approx(1.0)
+
+    def test_floor_at_serial_fraction(self):
+        assert amdahl(10.0, 10**6, 0.1) == pytest.approx(1.0, rel=1e-3)
+
+    def test_invalid_tasks(self):
+        with pytest.raises(ValueError):
+            amdahl(1.0, 0, 0.0)
+
+
+class TestContention:
+    def test_serial_is_free(self):
+        assert contention_probability(1, 0.5) == 0.0
+        assert lock_overhead_seconds(
+            10**6, 1, 0.5, mutex_kind="sync", tasking_layer="qthreads", hold_time=1e-7
+        ) == 0.0
+
+    def test_probability_monotone_in_tasks(self):
+        probs = [contention_probability(p, 0.13) for p in TASKS]
+        assert all(a <= b for a, b in zip(probs, probs[1:]))
+        assert probs[-1] <= 1.0
+
+    def test_sync_qthreads_most_expensive(self):
+        kwargs = dict(lock_ops=10**8, ntasks=32, top_slice_share=0.13, hold_time=1e-7)
+        sync_q = lock_overhead_seconds(**kwargs, mutex_kind="sync", tasking_layer="qthreads")
+        sync_f = lock_overhead_seconds(**kwargs, mutex_kind="sync", tasking_layer="fifo")
+        atomic = lock_overhead_seconds(**kwargs, mutex_kind="atomic", tasking_layer="qthreads")
+        c_pool = lock_overhead_seconds(**kwargs, mutex_kind="c", tasking_layer="qthreads")
+        assert sync_q > 5 * sync_f  # sleeping dwarfs spinning
+        assert sync_f > atomic > c_pool
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            lock_overhead_seconds(1, 2, 0.1, mutex_kind="hle",
+                                  tasking_layer="qthreads", hold_time=1e-7)
+
+
+class TestInterference:
+    def test_serial_omp_is_neutral(self):
+        assert inverse_interference_factor(1, qt_affinity=True, qt_spincount=300_000) == 1.0
+
+    def test_paper_anchor_15x_at_32(self):
+        f = inverse_interference_factor(32, qt_affinity=True, qt_spincount=300_000)
+        assert f == pytest.approx(15.0, rel=0.01)
+
+    def test_affinity_no_gives_2x_speedup_at_32(self):
+        f = inverse_interference_factor(32, qt_affinity=False, qt_spincount=300_000)
+        assert 1 / f == pytest.approx(2.0, rel=0.01)
+
+    def test_spincount_adds_2_3x(self):
+        base = inverse_interference_factor(32, qt_affinity=False, qt_spincount=300_000)
+        fixed = inverse_interference_factor(32, qt_affinity=False, qt_spincount=300)
+        assert base / fixed == pytest.approx(2.3, rel=0.01)
+
+    def test_norm_penalty_only_when_affinity_off_and_omp_on(self):
+        assert norm_interference_factor(32, qt_affinity=True, omp_threads=32) == 1.0
+        assert norm_interference_factor(32, qt_affinity=False, omp_threads=1) == 1.0
+        pen = norm_interference_factor(32, qt_affinity=False, omp_threads=32)
+        assert 7.0 <= pen <= 13.0  # the paper's observed band
+
+
+class TestSortModel:
+    def test_ladder_ordering_serial(self):
+        times = {
+            v: sort_time(77_000_000, 2, 1, variant=v, is_c=False)
+            for v in ("initial", "array_opt", "slices_opt", "all_opts")
+        }
+        assert times["initial"] > times["array_opt"] > times["slices_opt"] > times["all_opts"]
+
+    def test_paper_anchor_initial_nell2(self):
+        t = sort_time(77_000_000, 2, 1, variant="initial", is_c=False)
+        assert t == pytest.approx(69.04, rel=0.05)
+
+    def test_paper_anchor_c_yelp(self):
+        t = sort_time(8_000_000, 2, 1, variant="lexsort", is_c=True)
+        assert t == pytest.approx(0.82, rel=0.05)
+
+    def test_combined_speedup_about_8x(self):
+        ini = sort_time(77_000_000, 2, 1, variant="initial", is_c=False)
+        opt = sort_time(77_000_000, 2, 1, variant="all_opts", is_c=False)
+        assert 6.0 <= ini / opt <= 9.0
+
+
+class TestTable3Anchors:
+    """Simulated values vs the paper's published Table III (±25%)."""
+
+    @pytest.mark.parametrize("ds,mttkrp,sort", [
+        ("yelp", 13.31, 0.82),
+        ("nell-2", 109.25, 7.90),
+    ])
+    def test_c_serial(self, ds, mttkrp, sort):
+        run = simulate_cpals(paper_scale_stats(ds), SimConfig.c_reference(1))
+        assert run["mttkrp"] == pytest.approx(mttkrp, rel=0.25)
+        assert run["sort"] == pytest.approx(sort, rel=0.25)
+
+    @pytest.mark.parametrize("ds,mttkrp,sort", [
+        ("yelp", 225.11, 7.21),
+        ("nell-2", 1999.0, 69.04),
+    ])
+    def test_chapel_initial_serial(self, ds, mttkrp, sort):
+        run = simulate_cpals(paper_scale_stats(ds), SimConfig.chapel_initial(1))
+        assert run["mttkrp"] == pytest.approx(mttkrp, rel=0.25)
+        assert run["sort"] == pytest.approx(sort, rel=0.25)
+
+    def test_c_32_tasks(self):
+        run = simulate_cpals(paper_scale_stats("yelp"), SimConfig.c_reference(32))
+        assert run["mttkrp"] == pytest.approx(0.73, rel=0.25)
+
+    def test_chapel_initial_yelp_barely_scales(self):
+        """Table III: 225 s → 119 s at 32 tasks — only ~1.9x (sync locks)."""
+        t1 = simulate_cpals(paper_scale_stats("yelp"), SimConfig.chapel_initial(1))["mttkrp"]
+        t32 = simulate_cpals(paper_scale_stats("yelp"), SimConfig.chapel_initial(32))["mttkrp"]
+        assert 1.3 <= t1 / t32 <= 3.0
+
+    def test_chapel_initial_nell2_scales_fine(self):
+        t1 = simulate_cpals(paper_scale_stats("nell-2"), SimConfig.chapel_initial(1))["mttkrp"]
+        t32 = simulate_cpals(paper_scale_stats("nell-2"), SimConfig.chapel_initial(32))["mttkrp"]
+        assert t1 / t32 > 12
+
+
+class TestFig4Shape:
+    def test_locks_engage_beyond_two_tasks_only(self, yelp):
+        for p in (1, 2):
+            run = simulate_cpals(yelp, SimConfig.chapel_optimized(p))
+            assert not run.locked_modes
+        for p in (4, 8, 16, 32):
+            run = simulate_cpals(yelp, SimConfig.chapel_optimized(p))
+            assert run.locked_modes
+
+    def test_nell2_never_locks(self, nell2):
+        for p in TASKS:
+            assert not simulate_cpals(nell2, SimConfig.chapel_optimized(p)).locked_modes
+
+    def test_sync_collapse_at_32(self, yelp):
+        sync = simulate_cpals(
+            yelp, replace(SimConfig.chapel_optimized(32), mutex_kind="sync")
+        )["mttkrp"]
+        atomic = simulate_cpals(yelp, SimConfig.chapel_optimized(32))["mttkrp"]
+        # paper: atomic gave a 14.5x speedup over sync
+        assert 10.0 <= sync / atomic <= 20.0
+
+    def test_fifo_sync_competitive_with_atomic(self, yelp):
+        for p in TASKS:
+            fifo = simulate_cpals(
+                yelp,
+                replace(SimConfig.chapel_optimized(p), mutex_kind="sync",
+                        tasking_layer="fifo"),
+            )["mttkrp"]
+            atomic = simulate_cpals(yelp, SimConfig.chapel_optimized(p))["mttkrp"]
+            assert fifo <= 1.5 * atomic
+
+    def test_sync_curve_dips_then_rises(self, yelp):
+        series = [
+            simulate_cpals(
+                yelp, replace(SimConfig.chapel_optimized(p), mutex_kind="sync")
+            )["mttkrp"]
+            for p in TASKS
+        ]
+        assert min(series) < series[0]  # some speedup at small p
+        assert series[-1] > min(series) * 2  # then collapse
+
+
+class TestHeadlineShape:
+    def test_chapel_within_83_to_96_percent(self, yelp, nell2):
+        for stats, lo in ((yelp, 0.80), (nell2, 0.90)):
+            for p in TASKS:
+                c = simulate_cpals(stats, SimConfig.c_reference(p))["mttkrp"]
+                o = simulate_cpals(stats, SimConfig.chapel_optimized(p))["mttkrp"]
+                assert lo <= c / o <= 1.0
+
+    def test_near_linear_scaling(self, yelp, nell2):
+        for stats in (yelp, nell2):
+            t1 = simulate_cpals(stats, SimConfig.chapel_optimized(1))["mttkrp"]
+            t32 = simulate_cpals(stats, SimConfig.chapel_optimized(32))["mttkrp"]
+            assert t1 / t32 >= 14  # >= 45% parallel efficiency at 32
+
+    def test_access_ladder_ordering(self, yelp):
+        mults = CALIBRATION.mttkrp_variant_mult
+        assert mults["slicing"] > mults["index2d"] > mults["pointer"] > mults["c"] * 0.99
+
+    def test_2d_index_12_to_17x_over_slicing(self):
+        mults = CALIBRATION.mttkrp_variant_mult
+        assert 12 <= mults["slicing"] / mults["index2d"] <= 17
+
+    def test_pointer_1_26x_over_2d(self):
+        mults = CALIBRATION.mttkrp_variant_mult
+        assert mults["index2d"] / mults["pointer"] == pytest.approx(1.26, rel=0.02)
+
+
+class TestSimConfig:
+    def test_presets(self):
+        c = SimConfig.c_reference(8)
+        assert c.is_c and c.effective_omp_threads == 8
+        ch = SimConfig.chapel_optimized(8)
+        assert not ch.is_c and ch.effective_omp_threads == 1
+        ini = SimConfig.chapel_initial(8)
+        assert ini.mttkrp_variant == "slicing"
+        assert ini.mutex_kind == "sync"
+        assert ini.sort_variant == "initial"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimConfig(impl="rust")
+        with pytest.raises(ValueError):
+            SimConfig(ntasks=0)
+
+    def test_with_tasks(self):
+        assert SimConfig.c_reference(1).with_tasks(16).ntasks == 16
+
+    def test_explicit_omp_override(self):
+        cfg = SimConfig(impl="chapel", ntasks=4, omp_threads=32)
+        assert cfg.effective_omp_threads == 32
+
+
+class TestSimulatedRunContainer:
+    def test_total_and_getitem(self, yelp):
+        run = simulate_cpals(yelp, SimConfig.c_reference(1))
+        assert run.total == pytest.approx(sum(run.seconds.values()))
+        assert run["mttkrp"] == run.seconds["mttkrp"]
+
+    def test_all_six_routines_present(self, yelp):
+        run = simulate_cpals(yelp, SimConfig.c_reference(1))
+        assert set(run.seconds) == {
+            "mttkrp", "sort", "mat_ata", "mat_norm", "cpd_fit", "inverse"
+        }
+
+    def test_paper_scale_stats_cached_and_published(self):
+        st = paper_scale_stats("yelp")
+        assert st.dims == (41_000, 11_000, 75_000)
+        assert st.nnz == 8_000_000
+        assert st is paper_scale_stats("yelp")  # lru_cache

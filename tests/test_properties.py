@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on the core data structures and kernels.
+
+Strategy: generate small random tensors/factors and assert algebraic
+invariants that must hold for *every* input — sort correctness, CSF
+round-trips, MTTKRP agreement with the dense oracle, Khatri-Rao identities,
+normalization reconstruction, partition coverage.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.csf.build import build_csf, build_csf_set
+from repro.linalg.khatri_rao import khatri_rao
+from repro.linalg.norms import normalize_columns
+from repro.mttkrp.partition import nnz_balanced_blocks
+from repro.mttkrp.reference import dense_mttkrp_reference
+from repro.mttkrp.variants import mttkrp_csf
+from repro.tensor.coo import SparseTensor
+from repro.tensor.sort import sort_perm_for_mode, sort_tensor
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def sparse_tensors(draw, max_order=4, max_dim=8, max_nnz=40, unique=True):
+    """A random small sparse tensor (optionally with unique coordinates)."""
+    order = draw(st.integers(2, max_order))
+    dims = tuple(draw(st.integers(1, max_dim)) for _ in range(order))
+    total = int(np.prod(dims))
+    nnz = draw(st.integers(1, min(max_nnz, total)))
+    if unique:
+        flat = draw(
+            st.lists(st.integers(0, total - 1), min_size=nnz, max_size=nnz, unique=True)
+        )
+        coords = np.stack(np.unravel_index(np.asarray(flat), dims), axis=1)
+    else:
+        coords = np.asarray(
+            [
+                [draw(st.integers(0, d - 1)) for d in dims]
+                for _ in range(nnz)
+            ]
+        )
+    values = np.asarray(
+        draw(
+            st.lists(
+                st.floats(-10, 10, allow_nan=False).filter(lambda v: abs(v) > 1e-6),
+                min_size=nnz,
+                max_size=nnz,
+            )
+        )
+    )
+    return SparseTensor(coords, values, dims)
+
+
+@st.composite
+def tensor_with_factors(draw, rank_max=4):
+    tensor = draw(sparse_tensors(max_order=3, max_dim=7, max_nnz=30))
+    rank = draw(st.integers(1, rank_max))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    factors = [rng.random((d, rank)) for d in tensor.dims]
+    return tensor, factors
+
+
+# ----------------------------------------------------------------------
+# sorting
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors(unique=False), st.sampled_from(["initial", "all_opts"]),
+       st.integers(0, 3))
+def test_sort_produces_lexicographic_order(tensor, variant, mode_raw):
+    mode = mode_raw % tensor.nmodes
+    out = sort_tensor(tensor, mode, variant=variant)
+    perm = sort_perm_for_mode(mode, tensor.nmodes)
+    keys = tuple(out.coords[:, m] for m in reversed(perm))
+    order = np.lexsort(keys)
+    assert (order == np.arange(out.nnz)).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors(unique=False), st.sampled_from(["array_opt", "slices_opt"]))
+def test_sort_preserves_multiset(tensor, variant):
+    out = sort_tensor(tensor, 0, variant=variant)
+    def canon(t):
+        rows = np.column_stack([t.coords.astype(float), t.values])
+        return rows[np.lexsort(rows.T[::-1])]
+    np.testing.assert_allclose(canon(out), canon(tensor))
+
+
+# ----------------------------------------------------------------------
+# CSF
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors())
+def test_csf_roundtrips_coordinates(tensor):
+    csf = build_csf(tensor)
+    coords = csf.expand_coords()
+    original = tensor.coords[np.lexsort(tensor.coords.T[::-1])]
+    rebuilt = coords[np.lexsort(coords.T[::-1])]
+    np.testing.assert_array_equal(rebuilt, original)
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_tensors())
+def test_csf_fiber_counts_monotone(tensor):
+    csf = build_csf(tensor)
+    nfibs = csf.nfibs
+    assert all(a <= b for a, b in zip(nfibs, nfibs[1:]))
+    assert nfibs[-1] == tensor.nnz
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensors(max_order=3), st.integers(1, 12))
+def test_partition_covers_and_balances(tensor, ntasks):
+    tree = build_csf(tensor)
+    bounds = nnz_balanced_blocks(tree, ntasks)
+    assert bounds[0] == 0 and bounds[-1] == tree.nslices
+    assert (np.diff(bounds) >= 0).all()
+
+
+# ----------------------------------------------------------------------
+# MTTKRP
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(tensor_with_factors(), st.sampled_from(["vectorized", "pointer", "index2d"]))
+def test_mttkrp_matches_dense_oracle(tf, variant):
+    tensor, factors = tf
+    if variant != "vectorized" and tensor.nmodes != 3:
+        return  # interpreted variants are 3rd-order only, like the paper
+    csf_set = build_csf_set(tensor)
+    for mode in range(tensor.nmodes):
+        ref = dense_mttkrp_reference(tensor, factors, mode)
+        out, _ = mttkrp_csf(csf_set, factors, mode, variant=variant)
+        np.testing.assert_allclose(out, ref, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(tensor_with_factors(), st.integers(2, 6))
+def test_mttkrp_parallel_equals_serial(tf, ntasks):
+    from repro.runtime.env import ChapelEnv
+
+    tensor, factors = tf
+    csf_set = build_csf_set(tensor)
+    for mode in range(tensor.nmodes):
+        serial, _ = mttkrp_csf(csf_set, factors, mode)
+        par, _ = mttkrp_csf(csf_set, factors, mode, env=ChapelEnv(num_tasks=ntasks))
+        np.testing.assert_allclose(par, serial, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(tensor_with_factors())
+def test_mttkrp_linearity_in_values(tf):
+    """MTTKRP is linear in the tensor values: M(2X) == 2 M(X)."""
+    tensor, factors = tf
+    doubled = SparseTensor(tensor.coords, 2.0 * tensor.values, tensor.dims)
+    cs1 = build_csf_set(tensor)
+    cs2 = build_csf_set(doubled)
+    for mode in range(tensor.nmodes):
+        m1, _ = mttkrp_csf(cs1, factors, mode)
+        m2, _ = mttkrp_csf(cs2, factors, mode)
+        np.testing.assert_allclose(m2, 2.0 * m1, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# linalg
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 4), st.integers(0, 2**16))
+def test_khatri_rao_shape_and_rank_one(i, j, r, seed):
+    rng = np.random.default_rng(seed)
+    a, b = rng.random((i, r)), rng.random((j, r))
+    out = khatri_rao([a, b])
+    assert out.shape == (i * j, r)
+    # column c of the KR product is the Kronecker of column c's
+    for c in range(r):
+        np.testing.assert_allclose(out[:, c], np.kron(a[:, c], b[:, c]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 10), st.integers(1, 5), st.integers(0, 2**16),
+       st.sampled_from(["2", "max"]))
+def test_normalize_reconstructs(i, r, seed, which):
+    rng = np.random.default_rng(seed)
+    a = rng.random((i, r)) * 4
+    orig = a.copy()
+    _, lam = normalize_columns(a, which=which)
+    np.testing.assert_allclose(a * lam, orig, atol=1e-12)
+    assert (lam >= (1.0 if which == "max" else 0.0)).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(sparse_tensors(max_order=3))
+def test_norm_matches_dense(tensor):
+    dense = tensor.to_dense()
+    assert np.isclose(tensor.deduplicate().norm(), np.linalg.norm(dense), atol=1e-8)

@@ -1,0 +1,96 @@
+"""Property-based tests for the Tucker kernels and cross-kernel identities."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mttkrp.reference import dense_mttkrp_reference
+from repro.tensor.coo import SparseTensor
+from repro.tucker.ttmc import ttmc, ttmc_dense_reference
+
+
+@st.composite
+def tensor_factors_ranks(draw, max_order=4):
+    order = draw(st.integers(2, max_order))
+    dims = tuple(draw(st.integers(2, 6)) for _ in range(order))
+    total = int(np.prod(dims))
+    nnz = draw(st.integers(1, min(25, total)))
+    flat = draw(st.lists(st.integers(0, total - 1), min_size=nnz, max_size=nnz,
+                         unique=True))
+    coords = np.stack(np.unravel_index(np.asarray(flat), dims), axis=1)
+    values = np.asarray(draw(st.lists(
+        st.floats(-3, 3, allow_nan=False).filter(lambda v: abs(v) > 1e-6),
+        min_size=nnz, max_size=nnz)))
+    tensor = SparseTensor(coords, values, dims)
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    ranks = tuple(draw(st.integers(1, 3)) for _ in range(order))
+    factors = [rng.random((d, r)) for d, r in zip(dims, ranks)]
+    return tensor, factors
+
+
+@settings(max_examples=30, deadline=None)
+@given(tensor_factors_ranks(), st.integers(0, 3))
+def test_ttmc_matches_dense_oracle(tf, mode_raw):
+    tensor, factors = tf
+    mode = mode_raw % tensor.nmodes
+    np.testing.assert_allclose(
+        ttmc(tensor, factors, mode),
+        ttmc_dense_reference(tensor, factors, mode),
+        atol=1e-9,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(tensor_factors_ranks())
+def test_ttmc_multilinear_in_factors(tf):
+    """Scaling one non-target factor scales the whole TTMc output."""
+    tensor, factors = tf
+    mode = 0
+    other = 1
+    base = ttmc(tensor, factors, mode)
+    scaled = [f.copy() for f in factors]
+    scaled[other] = scaled[other] * 2.5
+    np.testing.assert_allclose(
+        ttmc(tensor, scaled, mode), 2.5 * base, atol=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**16), st.integers(1, 3), st.integers(2, 3))
+def test_mttkrp_is_ttmc_diagonal(seed, rank, order):
+    """With equal ranks, MTTKRP's column r equals TTMc's all-r column —
+    the identity tying the CP and Tucker kernels together."""
+    rng = np.random.default_rng(seed)
+    dims = tuple(int(d) for d in rng.integers(3, 7, order))
+    total = int(np.prod(dims))
+    nnz = min(20, total)
+    flat = rng.choice(total, size=nnz, replace=False)
+    coords = np.stack(np.unravel_index(flat, dims), axis=1)
+    tensor = SparseTensor(coords, rng.standard_normal(nnz), dims)
+    factors = [rng.random((d, rank)) for d in dims]
+
+    for mode in range(order):
+        m_out = dense_mttkrp_reference(tensor, factors, mode)
+        t_out = ttmc(tensor, factors, mode)
+        nrest = order - 1
+        for r in range(rank):
+            # all-rest-modes-at-rank-r column, lowest mode fastest
+            col = sum(r * rank**k for k in range(nrest))
+            np.testing.assert_allclose(m_out[:, r], t_out[:, col], atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(tensor_factors_ranks(max_order=3))
+def test_ttmc_additive_in_tensor(tf):
+    """TTMc(X + Y) == TTMc(X) + TTMc(Y) for disjoint-support splits."""
+    tensor, factors = tf
+    if tensor.nnz < 2:
+        return
+    half = tensor.nnz // 2
+    a = SparseTensor(tensor.coords[:half], tensor.values[:half], tensor.dims)
+    b = SparseTensor(tensor.coords[half:], tensor.values[half:], tensor.dims)
+    np.testing.assert_allclose(
+        ttmc(tensor, factors, 0),
+        ttmc(a, factors, 0) + ttmc(b, factors, 0),
+        atol=1e-9,
+    )

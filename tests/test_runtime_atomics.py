@@ -1,0 +1,126 @@
+"""Unit tests for Chapel atomic scalars, under real thread contention."""
+
+import threading
+
+import pytest
+
+from repro.runtime.atomics import AtomicBool, AtomicInt, AtomicReal
+
+
+class TestAtomicInt:
+    def test_read_write(self):
+        a = AtomicInt(5)
+        assert a.read() == 5
+        a.write(9)
+        assert a.read() == 9
+
+    def test_fetch_add_returns_previous(self):
+        a = AtomicInt(10)
+        assert a.fetch_add(3) == 10
+        assert a.read() == 13
+        assert a.fetch_sub(5) == 13
+        assert a.read() == 8
+
+    def test_add_sub(self):
+        a = AtomicInt()
+        a.add(7)
+        a.sub(2)
+        assert a.read() == 5
+
+    def test_exchange(self):
+        a = AtomicInt(1)
+        assert a.exchange(2) == 1
+        assert a.read() == 2
+
+    def test_compare_and_swap(self):
+        a = AtomicInt(3)
+        assert a.compare_and_swap(3, 4)
+        assert a.read() == 4
+        assert not a.compare_and_swap(3, 5)
+        assert a.read() == 4
+
+    def test_coercion(self):
+        a = AtomicInt()
+        a.write(2.9)
+        assert a.read() == 2
+
+    def test_contended_increments_lose_nothing(self):
+        a = AtomicInt()
+
+        def worker():
+            for _ in range(10_000):
+                a.add(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert a.read() == 40_000
+
+    def test_fetch_add_values_unique_under_contention(self):
+        """fetch_add is a correct ticket dispenser: no duplicates."""
+        a = AtomicInt()
+        tickets: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            got = [a.fetch_add(1) for _ in range(2_000)]
+            with lock:
+                tickets.extend(got)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(tickets) == list(range(8_000))
+
+
+class TestAtomicReal:
+    def test_arithmetic(self):
+        a = AtomicReal(1.5)
+        assert a.fetch_add(0.5) == 1.5
+        assert a.read() == pytest.approx(2.0)
+        a.add(-1.0)
+        assert a.read() == pytest.approx(1.0)
+
+    def test_coercion(self):
+        a = AtomicReal()
+        a.write(3)
+        assert isinstance(a.read(), float)
+
+
+class TestAtomicBool:
+    def test_test_and_set(self):
+        b = AtomicBool()
+        assert b.test_and_set() is False  # was clear
+        assert b.test_and_set() is True   # now held
+        b.clear()
+        assert b.test_and_set() is False
+
+    def test_spinlock_mutual_exclusion(self):
+        """The Listing 6 spinlock protects a counter across threads."""
+        lock = AtomicBool()
+        counter = {"x": 0}
+
+        def worker():
+            for _ in range(5_000):
+                lock.spin_lock()
+                try:
+                    counter["x"] += 1
+                finally:
+                    lock.spin_unlock()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["x"] == 20_000
+
+    def test_compare_and_swap(self):
+        b = AtomicBool(False)
+        assert b.compare_and_swap(False, True)
+        assert not b.compare_and_swap(False, True)
+        assert b.read() is True

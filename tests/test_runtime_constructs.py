@@ -1,0 +1,150 @@
+"""Unit tests for begin/cobegin/Barrier and the completion evaluate bundle."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.constructs import Barrier, TaskHandle, begin, cobegin
+
+
+class TestBegin:
+    def test_returns_result(self):
+        h = begin(lambda: 6 * 7)
+        assert h.wait() == 42
+
+    def test_runs_concurrently(self):
+        gate = threading.Event()
+
+        def waiter():
+            gate.wait(5)
+            return "released"
+
+        h = begin(waiter)
+        assert not h.done()  # parent continued while the task blocks
+        gate.set()
+        assert h.wait() == "released"
+        assert h.done()
+
+    def test_exception_reraised_on_wait(self):
+        h = begin(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        with pytest.raises(ValueError, match="boom"):
+            h.wait()
+
+    def test_wait_timeout(self):
+        h = begin(lambda: time.sleep(10))
+        with pytest.raises(TimeoutError):
+            h.wait(timeout=0.05)
+
+    def test_handle_type(self):
+        assert isinstance(begin(lambda: None), TaskHandle)
+
+
+class TestCobegin:
+    def test_results_in_order(self):
+        results = cobegin([lambda: "a", lambda: "b", lambda: "c"])
+        assert results == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert cobegin([]) == []
+
+    def test_actually_concurrent(self):
+        """Two tasks that each wait for the other's signal: only possible
+        if they really overlap."""
+        e1, e2 = threading.Event(), threading.Event()
+
+        def t1():
+            e1.set()
+            assert e2.wait(5)
+            return 1
+
+        def t2():
+            e2.set()
+            assert e1.wait(5)
+            return 2
+
+        assert cobegin([t1, t2]) == [1, 2]
+
+    def test_first_exception_wins(self):
+        def ok():
+            return 0
+
+        def bad1():
+            raise KeyError("first")
+
+        def bad2():
+            raise ValueError("second")
+
+        with pytest.raises(KeyError, match="first"):
+            cobegin([ok, bad1, bad2])
+
+
+class TestBarrier:
+    def test_rendezvous(self):
+        b = Barrier(3)
+        order = []
+        lock = threading.Lock()
+
+        def worker(tid):
+            with lock:
+                order.append(("before", tid))
+            b.barrier()
+            with lock:
+                order.append(("after", tid))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        befores = [i for i, (phase, _) in enumerate(order) if phase == "before"]
+        afters = [i for i, (phase, _) in enumerate(order) if phase == "after"]
+        assert max(befores) < min(afters)  # nobody passes before everyone arrives
+
+    def test_reusable_across_phases(self):
+        b = Barrier(2)
+        phase_counts = []
+
+        def worker():
+            for _ in range(3):
+                b.barrier()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        for _ in range(3):
+            b.barrier()
+        t.join(timeout=5)
+        assert not t.is_alive()
+
+    def test_n_property_and_validation(self):
+        assert Barrier(4).n == 4
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+
+class TestCompletionEvaluate:
+    def test_bundle_keys_and_truth(self):
+        from repro.completion.losses import evaluate
+        from repro.tensor.generate import planted_low_rank
+
+        tensor, factors = planted_low_rank((8, 7, 6), 2, 200, seed=1)
+        scores = evaluate(factors, tensor.coords, tensor.values)
+        assert set(scores) == {"rmse", "mae", "baseline_rmse", "baseline_mae"}
+        assert scores["rmse"] < 1e-10  # exact factors
+        assert scores["mae"] < 1e-10
+        assert scores["baseline_rmse"] > 0
+
+    def test_empty_rejected(self):
+        from repro.completion.losses import evaluate
+
+        with pytest.raises(ValueError, match="empty"):
+            evaluate([np.ones((2, 1))] * 2, np.empty((0, 2), dtype=int), np.empty(0))
+
+    def test_mae_definition(self):
+        from repro.completion.losses import mae
+        from repro.tensor.coo import SparseTensor
+
+        t = SparseTensor(np.array([[0, 0], [1, 1]]), np.array([2.0, 4.0]), (2, 2))
+        factors = [np.zeros((2, 1)), np.zeros((2, 1))]  # predicts 0
+        assert mae(t.coords, t.values, factors) == pytest.approx(3.0)

@@ -1,0 +1,106 @@
+"""Unit tests for the loop schedulers (static / dynamic / guided)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.env import ChapelEnv
+from repro.runtime.schedule import SCHEDULES, forall_scheduled
+from repro.runtime.tasking import make_tasking_layer
+
+
+def _layer(ntasks=4):
+    return make_tasking_layer(ChapelEnv(num_tasks=ntasks))
+
+
+class TestForallScheduled:
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    @pytest.mark.parametrize("n", [0, 1, 7, 100, 1000])
+    def test_every_index_once(self, schedule, n):
+        hits = np.zeros(max(n, 1), dtype=np.int64)
+        lock = threading.Lock()
+
+        def body(lo, hi, tid):
+            with lock:
+                hits[lo:hi] += 1
+
+        forall_scheduled(_layer(), n, body, schedule=schedule, chunk=8)
+        np.testing.assert_array_equal(hits[:n], 1)
+        np.testing.assert_array_equal(hits[n:], 0)
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_serial_layer(self, schedule):
+        hits = np.zeros(20, dtype=np.int64)
+
+        def body(lo, hi, tid):
+            hits[lo:hi] += 1
+            assert tid == 0
+
+        forall_scheduled(_layer(1), 20, body, schedule=schedule)
+        np.testing.assert_array_equal(hits, 1)
+
+    def test_dynamic_chunk_sizes(self):
+        chunks = []
+        lock = threading.Lock()
+
+        def body(lo, hi, tid):
+            with lock:
+                chunks.append(hi - lo)
+
+        forall_scheduled(_layer(2), 100, body, schedule="dynamic", chunk=16)
+        assert all(c <= 16 for c in chunks)
+        assert sum(chunks) == 100
+
+    def test_guided_chunks_shrink(self):
+        chunks = []
+        lock = threading.Lock()
+
+        def body(lo, hi, tid):
+            with lock:
+                chunks.append((lo, hi - lo))
+
+        forall_scheduled(_layer(1), 1000, body, schedule="guided", chunk=4)
+        sizes = [s for _, s in sorted(chunks)]
+        # first chunk is the largest; final chunks bottom out at `chunk`
+        assert sizes[0] == max(sizes)
+        assert min(sizes) <= 4
+
+    def test_static_matches_forall_blocks(self):
+        """Static scheduling must produce the same blocks as plain forall."""
+        from repro.runtime.tasking import static_block
+
+        blocks = []
+        lock = threading.Lock()
+
+        def body(lo, hi, tid):
+            with lock:
+                blocks.append((tid, lo, hi))
+
+        forall_scheduled(_layer(3), 31, body, schedule="static")
+        expected = {(t, *static_block(31, 3, t)) for t in range(3)}
+        assert set(blocks) == expected
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            forall_scheduled(_layer(), 5, lambda lo, hi, tid: None, schedule="work-steal")
+
+    def test_dynamic_spreads_chunks_across_tasks(self):
+        """When the body blocks (releases the GIL), dynamic scheduling must
+        share chunks among all tasks rather than letting one task drain the
+        dealer."""
+        import time
+
+        chunks_by_task = {}
+        lock = threading.Lock()
+
+        def body(lo, hi, tid):
+            time.sleep(0.002)  # GIL released: all tasks get to claim
+            with lock:
+                chunks_by_task[tid] = chunks_by_task.get(tid, 0) + 1
+
+        n, ntasks, chunk = 320, 4, 8  # 40 chunks over 4 tasks
+        forall_scheduled(_layer(ntasks), n, body, schedule="dynamic", chunk=chunk)
+        assert sum(chunks_by_task.values()) == n // chunk
+        assert len(chunks_by_task) == ntasks  # every task claimed work
+        assert max(chunks_by_task.values()) < 0.6 * (n // chunk)

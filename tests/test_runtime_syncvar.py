@@ -1,0 +1,222 @@
+"""Unit tests for Chapel sync variables and parallel reductions."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.env import ChapelEnv
+from repro.runtime.reductions import (
+    array_reduce_buffers,
+    max_reduce,
+    min_reduce,
+    reduce_blocks,
+    sum_reduce,
+)
+from repro.runtime.syncvar import SyncVar
+from repro.runtime.tasking import make_tasking_layer
+
+
+class TestSyncVarStates:
+    def test_starts_empty_without_initial(self):
+        sv = SyncVar()
+        assert not sv.is_full()
+
+    def test_starts_full_with_initial(self):
+        sv = SyncVar(7)
+        assert sv.is_full()
+        assert sv.read_xx() == 7
+
+    def test_read_fe_empties(self):
+        sv = SyncVar(3)
+        assert sv.read_fe() == 3
+        assert not sv.is_full()
+
+    def test_read_ff_stays_full(self):
+        sv = SyncVar(3)
+        assert sv.read_ff() == 3
+        assert sv.is_full()
+        assert sv.read_ff() == 3
+
+    def test_write_ef_fills(self):
+        sv = SyncVar()
+        sv.write_ef(9)
+        assert sv.is_full()
+        assert sv.read_fe() == 9
+
+    def test_write_ff_overwrites_full(self):
+        sv = SyncVar(1)
+        sv.write_ff(2)
+        assert sv.is_full()
+        assert sv.read_ff() == 2
+
+    def test_write_xf_any_state(self):
+        sv = SyncVar()
+        sv.write_xf(5)
+        assert sv.is_full()
+        sv.write_xf(6)  # overwrite while full
+        assert sv.read_fe() == 6
+
+    def test_read_xx_no_state_change(self):
+        sv = SyncVar(4)
+        assert sv.read_xx() == 4
+        assert sv.is_full()
+        sv.read_fe()
+        assert sv.read_xx() == 4  # stale value visible, still empty
+        assert not sv.is_full()
+
+    def test_reset(self):
+        sv = SyncVar(3, default=0)
+        sv.reset()
+        assert not sv.is_full()
+        assert sv.read_xx() == 0
+
+
+class TestSyncVarBlocking:
+    @pytest.mark.parametrize("layer", ["qthreads", "fifo"])
+    def test_read_blocks_until_write(self, layer):
+        env = ChapelEnv(tasking_layer=layer)
+        sv = SyncVar(env=env)
+        got = []
+
+        def reader():
+            got.append(sv.read_fe())
+
+        t = threading.Thread(target=reader)
+        t.start()
+        time.sleep(0.05)
+        assert not got  # still blocked
+        sv.write_ef(42)
+        t.join(timeout=5)
+        assert got == [42]
+
+    @pytest.mark.parametrize("layer", ["qthreads", "fifo"])
+    def test_write_ef_blocks_until_read(self, layer):
+        env = ChapelEnv(tasking_layer=layer)
+        sv = SyncVar(1, env=env)
+        done = []
+
+        def writer():
+            sv.write_ef(2)
+            done.append(True)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        assert not done  # blocked: already full
+        assert sv.read_fe() == 1
+        t.join(timeout=5)
+        assert done and sv.read_fe() == 2
+
+    def test_qthreads_counts_sleeps(self):
+        sv = SyncVar(env=ChapelEnv(tasking_layer="qthreads"))
+        t = threading.Thread(target=sv.read_fe)
+        t.start()
+        time.sleep(0.05)
+        sv.write_ef(0)
+        t.join(timeout=5)
+        assert sv.counters.sync_sleeps >= 1
+        assert sv.counters.task_yields == 0
+
+    def test_fifo_counts_yields(self):
+        sv = SyncVar(env=ChapelEnv(tasking_layer="fifo"))
+        t = threading.Thread(target=sv.read_fe)
+        t.start()
+        time.sleep(0.05)
+        sv.write_ef(0)
+        t.join(timeout=5)
+        assert sv.counters.sync_sleeps == 0
+        assert sv.counters.task_yields >= 1
+
+    def test_ping_pong(self):
+        """Producer/consumer through a single sync var, both layers."""
+        for layer in ("qthreads", "fifo"):
+            env = ChapelEnv(tasking_layer=layer)
+            sv = SyncVar(env=env)
+            received = []
+
+            def consumer():
+                for _ in range(20):
+                    received.append(sv.read_fe())
+
+            t = threading.Thread(target=consumer)
+            t.start()
+            for i in range(20):
+                sv.write_ef(i)
+            t.join(timeout=10)
+            assert received == list(range(20))
+
+
+class TestReduceBlocks:
+    def _layer(self, ntasks=4):
+        return make_tasking_layer(ChapelEnv(num_tasks=ntasks))
+
+    def test_sum_matches_numpy(self, rng):
+        a = rng.standard_normal(1003)
+        assert sum_reduce(self._layer(), a) == pytest.approx(a.sum())
+
+    def test_max_min(self, rng):
+        a = rng.standard_normal(517)
+        assert max_reduce(self._layer(), a) == a.max()
+        assert min_reduce(self._layer(), a) == a.min()
+
+    def test_empty_sum_is_zero(self):
+        assert sum_reduce(self._layer(), np.empty(0)) == 0.0
+
+    def test_empty_max_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            max_reduce(self._layer(), np.empty(0))
+
+    def test_empty_min_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            min_reduce(self._layer(), np.empty(0))
+
+    def test_2d_array_flattened(self, rng):
+        a = rng.random((13, 7))
+        assert sum_reduce(self._layer(), a) == pytest.approx(a.sum())
+
+    def test_custom_reduce(self):
+        layer = self._layer(3)
+        # count multiples of 3 in 0..99
+        result = reduce_blocks(
+            layer, 100,
+            lambda lo, hi: sum(1 for i in range(lo, hi) if i % 3 == 0),
+            lambda a, b: a + b,
+            0,
+        )
+        assert result == 34
+
+    def test_zero_length_space(self):
+        assert reduce_blocks(self._layer(), 0, lambda lo, hi: 1, max, -1) == -1
+
+    def test_more_tasks_than_items(self):
+        layer = self._layer(16)
+        assert sum_reduce(layer, np.ones(3)) == pytest.approx(3.0)
+
+
+class TestArrayReduceBuffers:
+    def test_sums_buffers(self, rng):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        out = np.zeros((10, 4))
+        buffers = [rng.random((10, 4)) for _ in range(5)]
+        array_reduce_buffers(layer, out, buffers)
+        np.testing.assert_allclose(out, sum(buffers))
+
+    def test_accumulates_into_existing(self, rng):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=2))
+        out = np.ones((4, 2))
+        buf = rng.random((4, 2))
+        array_reduce_buffers(layer, out, [buf])
+        np.testing.assert_allclose(out, 1.0 + buf)
+
+    def test_no_buffers_is_noop(self):
+        layer = make_tasking_layer(ChapelEnv())
+        out = np.ones((3, 3))
+        array_reduce_buffers(layer, out, [])
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        layer = make_tasking_layer(ChapelEnv())
+        with pytest.raises(ValueError, match="shape"):
+            array_reduce_buffers(layer, np.zeros((2, 2)), [np.zeros((3, 2))])

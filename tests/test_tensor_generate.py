@@ -1,0 +1,164 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.csf.build import build_csf_set
+from repro.mttkrp.locks_policy import needs_locks
+from repro.tensor.generate import (
+    DATASET_SIGNATURES,
+    planted_low_rank,
+    random_tensor,
+    synthetic_dataset,
+)
+
+
+class TestSignatures:
+    def test_all_five_paper_datasets_present(self):
+        assert set(DATASET_SIGNATURES) == {
+            "yelp", "rate-beer", "beer-advocate", "nell-2", "netflix"
+        }
+
+    def test_published_values(self):
+        y = DATASET_SIGNATURES["yelp"]
+        assert y.dims == (41_000, 11_000, 75_000)
+        assert y.nnz == 8_000_000
+        n = DATASET_SIGNATURES["nell-2"]
+        assert n.dims == (12_000, 9_000, 29_000)
+        assert n.nnz == 77_000_000
+
+    def test_lock_expectations_match_paper(self):
+        assert DATASET_SIGNATURES["yelp"].needs_locks_paper
+        assert not DATASET_SIGNATURES["nell-2"].needs_locks_paper
+
+
+class TestSyntheticDataset:
+    @pytest.mark.parametrize("name", sorted(DATASET_SIGNATURES))
+    def test_generates_bench_shape(self, name):
+        sig = DATASET_SIGNATURES[name]
+        t = synthetic_dataset(name)
+        assert t.dims == sig.bench_dims
+        assert 0.9 * sig.bench_nnz <= t.nnz <= sig.bench_nnz
+
+    def test_deterministic(self):
+        a = synthetic_dataset("yelp", seed=3)
+        b = synthetic_dataset("yelp", seed=3)
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = synthetic_dataset("yelp", seed=3)
+        b = synthetic_dataset("yelp", seed=4)
+        assert a != b
+
+    def test_unique_coordinates(self):
+        t = synthetic_dataset("nell-2")
+        keys = {tuple(c) for c in t.coords}
+        assert len(keys) == t.nnz
+
+    def test_positive_values(self):
+        t = synthetic_dataset("yelp")
+        assert (t.values > 0).all()
+
+    def test_scale_shrinks(self):
+        t = synthetic_dataset("yelp", scale=0.1)
+        full = DATASET_SIGNATURES["yelp"]
+        assert t.nnz <= full.bench_nnz * 0.12
+        assert all(d <= b for d, b in zip(t.dims, full.bench_dims))
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            synthetic_dataset("imagenet")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            synthetic_dataset("yelp", scale=0.0)
+        with pytest.raises(ValueError, match="scale"):
+            synthetic_dataset("yelp", scale=2.0)
+
+
+class TestLockDichotomy:
+    """The structural property at the heart of the paper's Fig 4 (§V-D2)."""
+
+    @staticmethod
+    def _internal_modes(tensor):
+        cs = build_csf_set(tensor, allocation="two")
+        return [m for m in range(tensor.nmodes) if cs.tree_for_mode(m)[1] != "root"]
+
+    def test_yelp_locks_beyond_two_tasks(self):
+        t = synthetic_dataset("yelp")
+        modes = self._internal_modes(t)
+        assert modes, "two-tree CSF must leave one non-root mode"
+        for p in (1, 2):
+            assert not any(needs_locks(t.dims[m], t.nnz, p) for m in modes)
+        for p in (4, 8, 16, 32):
+            assert any(needs_locks(t.dims[m], t.nnz, p) for m in modes)
+
+    def test_nell2_lock_free_at_measured_task_counts(self):
+        t = synthetic_dataset("nell-2")
+        modes = self._internal_modes(t)
+        for p in (1, 2, 4):
+            assert not any(needs_locks(t.dims[m], t.nnz, p) for m in modes)
+
+    def test_paper_scale_dichotomy(self):
+        """At published dims/nnz the dichotomy holds all the way to 32."""
+        y = DATASET_SIGNATURES["yelp"]
+        n = DATASET_SIGNATURES["nell-2"]
+        # internal mode = neither smallest nor largest dim
+        y_internal = sorted(range(3), key=lambda m: y.dims[m])[1]
+        n_internal = sorted(range(3), key=lambda m: n.dims[m])[1]
+        assert not needs_locks(y.dims[y_internal], y.nnz, 2)
+        assert needs_locks(y.dims[y_internal], y.nnz, 4)
+        for p in (2, 4, 8, 16, 32):
+            assert not needs_locks(n.dims[n_internal], n.nnz, p)
+
+
+class TestRandomTensor:
+    def test_exact_nnz_unique(self):
+        t = random_tensor((10, 10, 10), 400, seed=1)
+        assert t.nnz == 400
+        assert len({tuple(c) for c in t.coords}) == 400
+
+    def test_nnz_exceeds_cells(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            random_tensor((2, 2), 5)
+
+    def test_full_tensor(self):
+        t = random_tensor((3, 3), 9, seed=0)
+        assert t.nnz == 9
+
+    def test_no_zero_values(self):
+        t = random_tensor((8, 8, 8), 200, seed=2)
+        assert (t.values != 0).all()
+
+    def test_rejection_path_for_huge_spaces(self):
+        t = random_tensor((100_000, 100_000, 100_000), 20, seed=0)
+        assert t.nnz == 20
+        assert len({tuple(c) for c in t.coords}) == 20
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            random_tensor((0, 3), 1)
+
+
+class TestPlantedLowRank:
+    def test_values_match_factors(self):
+        tensor, factors = planted_low_rank((6, 5, 4), 2, 40, seed=9)
+        for coord, value in zip(tensor.coords, tensor.values):
+            expected = sum(
+                np.prod([factors[m][coord[m], r] for m in range(3)])
+                for r in range(2)
+            )
+            assert value == pytest.approx(expected)
+
+    def test_noise_perturbs(self):
+        clean, _ = planted_low_rank((6, 5, 4), 2, 40, seed=9, noise=0.0)
+        noisy, _ = planted_low_rank((6, 5, 4), 2, 40, seed=9, noise=0.5)
+        assert not np.allclose(clean.values, noisy.values)
+
+    def test_factor_shapes(self):
+        _, factors = planted_low_rank((6, 5, 4), 3, 40, seed=9)
+        assert [f.shape for f in factors] == [(6, 3), (5, 3), (4, 3)]
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            planted_low_rank((4, 4), 0, 5)

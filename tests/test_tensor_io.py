@@ -1,0 +1,120 @@
+"""Unit tests for FROSTT text I/O and the binary cache format."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import SparseTensor
+from repro.tensor.io import load_binary, load_tns, save_binary, save_tns
+
+
+class TestTnsRoundtrip:
+    def test_roundtrip_preserves_tensor(self, small_tensor, tmp_path):
+        path = tmp_path / "t.tns"
+        save_tns(small_tensor, path)
+        loaded = load_tns(path, dims=small_tensor.dims)
+        assert loaded == SparseTensor(
+            small_tensor.coords, small_tensor.values, small_tensor.dims, name="t"
+        )
+
+    def test_roundtrip_zero_indexed(self, small_tensor, tmp_path):
+        path = tmp_path / "t0.tns"
+        save_tns(small_tensor, path, one_indexed=False)
+        loaded = load_tns(path, dims=small_tensor.dims, one_indexed=False)
+        np.testing.assert_array_equal(loaded.coords, small_tensor.coords)
+
+    def test_values_exact(self, tmp_path):
+        t = SparseTensor(np.array([[0, 0]]), np.array([0.1234567890123456]), (1, 1))
+        path = tmp_path / "v.tns"
+        save_tns(t, path)
+        loaded = load_tns(path)
+        assert loaded.values[0] == t.values[0]  # repr round-trips doubles
+
+
+class TestTnsParsing:
+    def test_frostt_format(self, tmp_path):
+        path = tmp_path / "x.tns"
+        path.write_text("# a comment\n1 1 1 1.5\n2 3 1 -2.0\n\n% another comment\n")
+        t = load_tns(path)
+        assert t.nnz == 2
+        assert t.dims == (2, 3, 1)
+        assert t.to_dense()[0, 0, 0] == 1.5
+        assert t.to_dense()[1, 2, 0] == -2.0
+
+    def test_dims_inferred_vs_given(self, tmp_path):
+        path = tmp_path / "x.tns"
+        path.write_text("1 1 2.0\n")
+        assert load_tns(path).dims == (1, 1)
+        assert load_tns(path, dims=(5, 6)).dims == (5, 6)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("1 1 1 1.0\n1 1 2.0\n")
+        with pytest.raises(ValueError, match="ragged"):
+            load_tns(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("1 x 1.0\n")
+        with pytest.raises(ValueError, match="bad numeric"):
+            load_tns(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.tns"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no nonzeros"):
+            load_tns(path)
+
+    def test_zero_index_in_one_indexed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("0 1 1.0\n")
+        with pytest.raises(ValueError, match="1-indexed"):
+            load_tns(path)
+
+    def test_too_few_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("1\n")
+        with pytest.raises(ValueError, match="at least one index"):
+            load_tns(path)
+
+    def test_name_is_stem(self, tmp_path):
+        path = tmp_path / "mydata.tns"
+        path.write_text("1 1 1.0\n")
+        assert load_tns(path).name == "mydata"
+
+
+class TestGzip:
+    def test_gz_roundtrip(self, small_tensor, tmp_path):
+        path = tmp_path / "t.tns.gz"
+        save_tns(small_tensor, path)
+        loaded = load_tns(path, dims=small_tensor.dims)
+        np.testing.assert_array_equal(loaded.coords, small_tensor.coords)
+        np.testing.assert_allclose(loaded.values, small_tensor.values)
+
+    def test_gz_is_actually_compressed(self, small_tensor, tmp_path):
+        import gzip
+
+        path = tmp_path / "t.tns.gz"
+        save_tns(small_tensor, path)
+        with gzip.open(path, "rt") as fh:
+            first = fh.readline()
+        assert len(first.split()) == 4  # 3 indices + value
+
+    def test_gz_name_strips_both_suffixes(self, small_tensor, tmp_path):
+        path = tmp_path / "mydata.tns.gz"
+        save_tns(small_tensor, path)
+        assert load_tns(path, dims=small_tensor.dims).name == "mydata"
+
+
+class TestBinary:
+    def test_roundtrip(self, small_tensor, tmp_path):
+        path = tmp_path / "t.npz"
+        save_binary(small_tensor, path)
+        loaded = load_binary(path)
+        assert loaded == small_tensor
+        assert loaded.name == small_tensor.name
+
+    def test_empty_values_tensor(self, tmp_path):
+        t = SparseTensor(np.array([[1, 2, 3]]), np.array([7.0]), (4, 4, 4), name="one")
+        path = tmp_path / "one.npz"
+        save_binary(t, path)
+        assert load_binary(path) == t

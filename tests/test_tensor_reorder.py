@@ -1,0 +1,118 @@
+"""Unit tests for mode-index relabeling and the CP-ALS callback."""
+
+import numpy as np
+import pytest
+
+from repro.core.cpals import cp_als
+from repro.core.options import CpalsOptions
+from repro.csf.build import build_csf
+from repro.mttkrp.reference import dense_mttkrp_reference
+from repro.tensor.generate import random_tensor, synthetic_dataset
+from repro.tensor.reorder import (
+    REORDER_STRATEGIES,
+    apply_relabeling,
+    reorder_tensor,
+)
+
+
+class TestReorder:
+    @pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+    def test_is_bijection(self, small_tensor, strategy):
+        out, perms = reorder_tensor(small_tensor, strategy=strategy)
+        assert out.nnz == small_tensor.nnz
+        assert out.dims == small_tensor.dims
+        for m, perm in enumerate(perms):
+            assert sorted(perm.tolist()) == list(range(small_tensor.dims[m]))
+
+    @pytest.mark.parametrize("strategy", REORDER_STRATEGIES)
+    def test_values_preserved_under_mapping(self, small_tensor, strategy):
+        out, perms = reorder_tensor(small_tensor, strategy=strategy, seed=1)
+        dense_old = small_tensor.to_dense()
+        dense_new = out.to_dense()
+        # dense_new[i, j, k] == dense_old[perms[0][i], perms[1][j], perms[2][k]]
+        remapped = dense_old[np.ix_(*perms)]
+        np.testing.assert_allclose(dense_new, remapped)
+
+    def test_identity_is_copy(self, small_tensor):
+        out, perms = reorder_tensor(small_tensor, strategy="identity")
+        assert out == small_tensor
+        for m, perm in enumerate(perms):
+            np.testing.assert_array_equal(perm, np.arange(small_tensor.dims[m]))
+
+    def test_degree_puts_hubs_first(self):
+        t = synthetic_dataset("yelp", scale=0.5)
+        out, _ = reorder_tensor(t, strategy="degree")
+        for m in range(3):
+            hist = np.bincount(out.mode_indices(m), minlength=out.dims[m])
+            # histogram is non-increasing after degree relabeling
+            assert (np.diff(hist) <= 0).all()
+
+    def test_random_seeded(self, small_tensor):
+        a, _ = reorder_tensor(small_tensor, strategy="random", seed=3)
+        b, _ = reorder_tensor(small_tensor, strategy="random", seed=3)
+        c, _ = reorder_tensor(small_tensor, strategy="random", seed=4)
+        assert a == b
+        assert a != c
+
+    def test_unknown_strategy(self, small_tensor):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            reorder_tensor(small_tensor, strategy="metis")
+
+    def test_apply_relabeling_validates(self, small_tensor):
+        perms = [np.arange(d) for d in small_tensor.dims]
+        perms[0][0] = perms[0][1]  # not a bijection
+        with pytest.raises(ValueError, match="bijection"):
+            apply_relabeling(small_tensor, perms)
+
+    def test_wrong_perm_count(self, small_tensor):
+        with pytest.raises(ValueError, match="permutations"):
+            apply_relabeling(small_tensor, [np.arange(small_tensor.dims[0])])
+
+    def test_mttkrp_equivariant_under_relabeling(self, small_tensor, factors_for):
+        """MTTKRP(relabel(X)) == row-relabeled MTTKRP(X) — the property that
+        lets factors be mapped back after a reordered decomposition."""
+        factors = factors_for(small_tensor, 3)
+        out, perms = reorder_tensor(small_tensor, strategy="degree")
+        relabeled_factors = [f[perm] for f, perm in zip(factors, perms)]
+        for mode in range(3):
+            ref = dense_mttkrp_reference(small_tensor, factors, mode)
+            got = dense_mttkrp_reference(out, relabeled_factors, mode)
+            np.testing.assert_allclose(got, ref[perms[mode]], atol=1e-10)
+
+    def test_degree_reduces_or_keeps_fiber_count_on_hub_data(self):
+        """On hub-structured data, degree relabeling must not *hurt* CSF
+        compression (upper-level node counts)."""
+        t = synthetic_dataset("yelp", scale=0.5)
+        base = build_csf(t)
+        reordered, _ = reorder_tensor(t, strategy="degree")
+        opt = build_csf(reordered)
+        assert sum(opt.nfibs[:-1]) <= sum(base.nfibs[:-1]) * 1.05
+
+
+class TestCpAlsCallback:
+    def test_callback_sees_every_iteration(self, small_tensor):
+        seen = []
+        cp_als(
+            small_tensor, 2,
+            CpalsOptions(max_iterations=4, tolerance=0.0),
+            callback=lambda it, fit, factors: seen.append((it, fit)) and None,
+        )
+        assert [it for it, _ in seen] == [1, 2, 3, 4]
+
+    def test_callback_can_stop_early(self, small_tensor):
+        result = cp_als(
+            small_tensor, 2,
+            CpalsOptions(max_iterations=50, tolerance=0.0),
+            callback=lambda it, fit, factors: it >= 3,
+        )
+        assert result.iterations == 3
+        assert not result.converged
+
+    def test_callback_factors_are_live(self, small_tensor):
+        shapes = []
+        cp_als(
+            small_tensor, 2,
+            CpalsOptions(max_iterations=1, tolerance=0.0),
+            callback=lambda it, fit, factors: shapes.extend(f.shape for f in factors) and None,
+        )
+        assert shapes == [(d, 2) for d in small_tensor.dims]

@@ -1,0 +1,70 @@
+"""Unit tests for tensor structural statistics."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import SparseTensor
+from repro.tensor.generate import synthetic_dataset
+from repro.tensor.stats import tensor_stats
+
+
+class TestModeStats:
+    def test_tiny_tensor(self, tiny_tensor):
+        st = tensor_stats(tiny_tensor)
+        assert st.nnz == 4
+        assert st.dims == (3, 2, 2)
+        m0 = st.mode(0)
+        # slices 0,1,2 hold 2,1,1 nonzeros
+        assert m0.nonempty_slices == 3
+        assert m0.max_slice_nnz == 2
+        assert m0.mean_slice_nnz == pytest.approx(4 / 3)
+        assert m0.slice_imbalance == pytest.approx(2 / (4 / 3))
+
+    def test_fiber_counts(self, tiny_tensor):
+        st = tensor_stats(tiny_tensor)
+        # mode-0 fibers = distinct (i, j) pairs: (0,0),(0,1),(1,0),(2,1) = 4
+        assert st.mode(0).nfibers == 4
+
+    def test_uniform_tensor_no_imbalance(self):
+        coords = np.array([[i, 0] for i in range(6)])
+        t = SparseTensor(coords, np.ones(6), (6, 1))
+        st = tensor_stats(t)
+        assert st.mode(0).slice_imbalance == pytest.approx(1.0)
+
+    def test_hub_concentration(self):
+        # one hub row owning 90 of 100 nonzeros over a 200-row mode
+        coords = np.zeros((100, 2), dtype=int)
+        coords[:90, 0] = 5
+        coords[90:, 0] = np.arange(10) + 20
+        coords[:, 1] = np.arange(100)  # all distinct: dedup keeps every entry
+        t = SparseTensor(coords, np.ones(100), (200, 100)).deduplicate()
+        st = tensor_stats(t)
+        assert st.mode(0).top_slice_share > 0.5
+        assert st.mode(0).slice_imbalance > 5
+
+    def test_empty_tensor(self):
+        t = SparseTensor(np.empty((0, 2), dtype=int), np.empty(0), (4, 4))
+        st = tensor_stats(t)
+        assert st.mode(0).nonempty_slices == 0
+        assert st.mode(0).top_slice_share == 0.0
+
+    def test_max_top_slice_share(self, small_tensor):
+        st = tensor_stats(small_tensor)
+        assert st.max_top_slice_share == max(m.top_slice_share for m in st.modes)
+
+    def test_shares_are_probabilities(self, small_tensor):
+        st = tensor_stats(small_tensor)
+        for m in st.modes:
+            assert 0.0 <= m.top_slice_share <= 1.0
+
+
+class TestDatasetStats:
+    def test_yelp_is_hubbier_than_nell2(self):
+        """The structural driver of the paper's lock-contention story."""
+        y = tensor_stats(synthetic_dataset("yelp"))
+        n = tensor_stats(synthetic_dataset("nell-2"))
+        assert y.max_top_slice_share > n.max_top_slice_share
+
+    def test_nmodes(self):
+        st = tensor_stats(synthetic_dataset("yelp"))
+        assert st.nmodes == 3

@@ -1,0 +1,162 @@
+"""Unit tests for tensor transformation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.coo import SparseTensor
+from repro.tensor.generate import random_tensor
+from repro.tensor.transform import (
+    binarize,
+    drop_empty_slices,
+    scale_values,
+    split_nonzeros,
+    subtensor,
+)
+
+
+class TestSplitNonzeros:
+    def test_partitions_exactly(self, small_tensor):
+        train, test = split_nonzeros(small_tensor, 0.25, seed=1)
+        assert train.nnz + test.nnz == small_tensor.nnz
+        assert test.nnz == round(small_tensor.nnz * 0.25)
+        assert train.dims == test.dims == small_tensor.dims
+        # disjoint coordinate sets
+        train_set = {tuple(c) for c in train.coords}
+        test_set = {tuple(c) for c in test.coords}
+        assert not train_set & test_set
+
+    def test_deterministic(self, small_tensor):
+        a = split_nonzeros(small_tensor, 0.3, seed=5)
+        b = split_nonzeros(small_tensor, 0.3, seed=5)
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_invalid_fraction(self, small_tensor):
+        with pytest.raises(ValueError):
+            split_nonzeros(small_tensor, 0.0)
+        with pytest.raises(ValueError):
+            split_nonzeros(small_tensor, 1.0)
+
+    def test_tiny_tensor(self):
+        t = random_tensor((3, 3), 2, seed=0)
+        train, test = split_nonzeros(t, 0.9)
+        assert train.nnz >= 1 and test.nnz >= 1
+
+    def test_too_small_rejected(self):
+        t = random_tensor((2, 2), 1, seed=0)
+        with pytest.raises(ValueError, match="at least 2"):
+            split_nonzeros(t, 0.5)
+
+    def test_names_tagged(self, small_tensor):
+        train, test = split_nonzeros(small_tensor, 0.2)
+        assert train.name.endswith("/train")
+        assert test.name.endswith("/test")
+
+
+class TestDropEmptySlices:
+    def test_compacts_gaps(self):
+        coords = np.array([[0, 5], [9, 5], [0, 2]])
+        t = SparseTensor(coords, np.ones(3), (10, 8))
+        out, maps = drop_empty_slices(t)
+        assert out.dims == (2, 2)
+        np.testing.assert_array_equal(maps[0], [0, 9])
+        np.testing.assert_array_equal(maps[1], [2, 5])
+        # values preserved under the mapping
+        dense_old = t.to_dense()
+        dense_new = out.to_dense()
+        for i_new, i_old in enumerate(maps[0]):
+            for j_new, j_old in enumerate(maps[1]):
+                assert dense_new[i_new, j_new] == dense_old[i_old, j_old]
+
+    def test_no_gaps_is_identity_shape(self, small_tensor):
+        compacted = small_tensor  # random tensors usually fill all slices?
+        out, maps = drop_empty_slices(small_tensor)
+        for m in range(3):
+            assert out.dims[m] == len(maps[m])
+            assert out.dims[m] <= small_tensor.dims[m]
+
+    def test_roundtrip_via_maps(self, small_tensor):
+        out, maps = drop_empty_slices(small_tensor)
+        restored = out.coords.copy()
+        for m in range(3):
+            restored[:, m] = maps[m][out.coords[:, m]]
+        key = lambda c: c[np.lexsort(c.T[::-1])]
+        np.testing.assert_array_equal(key(restored), key(small_tensor.coords))
+
+
+class TestScaleValues:
+    def test_maxabs(self, small_tensor):
+        scaled, factor = scale_values(small_tensor, how="maxabs")
+        assert np.abs(scaled.values).max() == pytest.approx(1.0)
+        np.testing.assert_allclose(scaled.values * factor, small_tensor.values)
+
+    def test_norm(self, small_tensor):
+        scaled, factor = scale_values(small_tensor, how="norm")
+        assert scaled.norm() == pytest.approx(1.0)
+        assert factor == pytest.approx(small_tensor.norm())
+
+    def test_mean(self, small_tensor):
+        scaled, _ = scale_values(small_tensor, how="mean")
+        assert np.abs(scaled.values).mean() == pytest.approx(1.0)
+
+    def test_unknown(self, small_tensor):
+        with pytest.raises(ValueError, match="unknown scaling"):
+            scale_values(small_tensor, how="softmax")
+
+    def test_empty(self):
+        t = SparseTensor(np.empty((0, 2), dtype=int), np.empty(0), (2, 2))
+        scaled, factor = scale_values(t)
+        assert factor == 1.0
+        assert scaled.nnz == 0
+
+
+class TestBinarize:
+    def test_all_ones(self, small_tensor):
+        b = binarize(small_tensor)
+        assert (b.values == 1.0).all()
+        np.testing.assert_array_equal(b.coords, small_tensor.coords)
+
+
+class TestSubtensor:
+    def test_extracts_and_shifts(self, small_tensor):
+        ranges = ((2, 8), (0, 5), (3, 12))
+        sub = subtensor(small_tensor, ranges)
+        assert sub.dims == (6, 5, 9)
+        dense = small_tensor.to_dense()[2:8, 0:5, 3:12]
+        np.testing.assert_allclose(sub.to_dense(), dense)
+
+    def test_full_range_identity(self, small_tensor):
+        ranges = tuple((0, d) for d in small_tensor.dims)
+        sub = subtensor(small_tensor, ranges)
+        np.testing.assert_allclose(sub.to_dense(), small_tensor.to_dense())
+
+    def test_invalid_range(self, small_tensor):
+        with pytest.raises(ValueError, match="invalid"):
+            subtensor(small_tensor, ((0, 99), (0, 2), (0, 2)))
+        with pytest.raises(ValueError, match="invalid"):
+            subtensor(small_tensor, ((5, 5), (0, 2), (0, 2)))
+
+    def test_wrong_arity(self, small_tensor):
+        with pytest.raises(ValueError, match="ranges"):
+            subtensor(small_tensor, ((0, 2), (0, 2)))
+
+
+class TestPerfmodelDistributed:
+    def test_projection_shape(self):
+        from repro.perfmodel.distributed import project_distributed
+
+        projections = [
+            project_distributed("nell-2", n, iterations=20) for n in (1, 2, 4, 8)
+        ]
+        totals = [p.total_seconds for p in projections]
+        # monotone speedup over this locale range
+        assert all(a > b for a, b in zip(totals, totals[1:]))
+        # near-linear at 8 locales, comm share still minor
+        assert totals[0] / totals[-1] > 5
+        assert projections[-1].comm_fraction < 0.3
+        assert projections[0].comm_seconds == 0.0
+
+    def test_invalid_locales(self):
+        from repro.perfmodel.distributed import project_distributed
+
+        with pytest.raises(ValueError):
+            project_distributed("nell-2", 0)

@@ -1,0 +1,108 @@
+"""Unit tests for the tensor validation reports and multi-start CP-ALS."""
+
+import numpy as np
+import pytest
+
+from repro.core.multistart import cp_als_best_of
+from repro.core.options import CpalsOptions
+from repro.tensor.coo import SparseTensor
+from repro.tensor.generate import planted_low_rank, random_tensor
+from repro.tensor.validate import validate_tensor
+
+
+class TestValidate:
+    def test_clean_tensor_ok(self):
+        t = random_tensor((8, 8, 8), 100, seed=1)
+        report = validate_tensor(t)
+        assert report.ok
+
+    def test_empty_tensor_is_error(self):
+        t = SparseTensor(np.empty((0, 2), dtype=int), np.empty(0), (2, 2))
+        report = validate_tensor(t)
+        assert not report.ok
+        assert report.by_code("empty")
+
+    def test_duplicates_flagged_as_error(self):
+        coords = np.array([[0, 0], [0, 0], [1, 1]])
+        t = SparseTensor(coords, np.ones(3), (2, 2))
+        report = validate_tensor(t)
+        assert not report.ok
+        assert "duplicate" in report.by_code("duplicates")[0].message
+
+    def test_explicit_zeros_warned(self):
+        coords = np.array([[0, 0], [1, 1]])
+        t = SparseTensor(coords, np.array([0.0, 1.0]), (2, 2))
+        report = validate_tensor(t)
+        assert report.ok  # warning, not error
+        assert report.by_code("explicit-zeros")
+
+    def test_empty_slices_reported(self):
+        coords = np.array([[0, 0], [1, 1]])
+        t = SparseTensor(coords, np.ones(2), (50, 2))
+        report = validate_tensor(t)
+        issues = report.by_code("empty-slices")
+        assert issues
+        assert issues[0].severity == "warning"  # >10% empty
+
+    def test_hub_skew_warned(self):
+        coords = np.zeros((100, 2), dtype=int)
+        coords[:90, 0] = 3
+        coords[90:, 0] = np.arange(10) + 100
+        coords[:, 1] = np.arange(100)
+        t = SparseTensor(coords, np.ones(100), (200, 100))
+        report = validate_tensor(t)
+        assert report.by_code("hub-skew")
+
+    def test_degenerate_mode_warned(self):
+        t = random_tensor((5, 1, 5), 10, seed=0)
+        report = validate_tensor(t)
+        assert report.by_code("degenerate-mode")
+
+    def test_value_spread_warned(self):
+        coords = np.array([[0, 0], [1, 1]])
+        t = SparseTensor(coords, np.array([1e-9, 1e9]), (2, 2))
+        report = validate_tensor(t)
+        assert report.by_code("value-spread")
+
+    def test_render(self):
+        t = random_tensor((8, 8, 8), 100, seed=1)
+        text = validate_tensor(t).render()
+        assert "OK" in text or "INFO" in text
+
+
+class TestMultiStart:
+    def test_picks_best_fit(self):
+        tensor, _ = planted_low_rank((8, 7, 6), 2, 336, seed=2)
+        opts = CpalsOptions(max_iterations=15, tolerance=0.0)
+        result = cp_als_best_of(tensor, 2, n_starts=4, options=opts, base_seed=10)
+        assert len(result.fits) == 4
+        assert result.best.fit == max(result.fits)
+        assert result.best_seed in result.seeds
+
+    def test_seeds_deterministic(self):
+        tensor, _ = planted_low_rank((8, 7, 6), 2, 336, seed=2)
+        opts = CpalsOptions(max_iterations=5, tolerance=0.0)
+        a = cp_als_best_of(tensor, 2, n_starts=3, options=opts, base_seed=0)
+        b = cp_als_best_of(tensor, 2, n_starts=3, options=opts, base_seed=0)
+        assert a.fits == b.fits
+
+    def test_best_at_least_single_run(self):
+        tensor, _ = planted_low_rank((8, 7, 6), 3, 336, seed=2)
+        opts = CpalsOptions(max_iterations=10, tolerance=0.0)
+        multi = cp_als_best_of(tensor, 3, n_starts=5, options=opts, base_seed=0)
+        from repro.core.cpals import cp_als
+        from dataclasses import replace
+
+        single = cp_als(tensor, 3, replace(opts, seed=0))
+        assert multi.best.fit >= single.fit - 1e-12
+
+    def test_spread_nonnegative(self):
+        tensor, _ = planted_low_rank((8, 7, 6), 2, 336, seed=2)
+        opts = CpalsOptions(max_iterations=5, tolerance=0.0)
+        result = cp_als_best_of(tensor, 2, n_starts=3, options=opts)
+        assert result.fit_spread >= 0.0
+
+    def test_invalid_starts(self):
+        tensor, _ = planted_low_rank((4, 4, 4), 2, 30, seed=2)
+        with pytest.raises(ValueError):
+            cp_als_best_of(tensor, 2, n_starts=0)

@@ -1,0 +1,86 @@
+"""Unit tests for shared helpers."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_rng,
+    check_axis,
+    check_positive,
+    check_rank,
+    ensure_index_array,
+    ensure_value_array,
+    human_bytes,
+    prod,
+)
+
+
+class TestRng:
+    def test_seed_int(self):
+        a, b = as_rng(7), as_rng(7)
+        assert a.random() == b.random()
+
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_none_is_fresh(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestChecks:
+    def test_prod(self):
+        assert prod([2, 3, 4]) == 24
+        assert prod([]) == 1
+        assert prod(np.array([10**9, 10**9])) == 10**18  # no overflow
+
+    def test_check_positive(self):
+        assert check_positive("x", 5) == 5
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_check_rank(self):
+        assert check_rank(35) == 35
+        with pytest.raises(ValueError):
+            check_rank(-1)
+
+    def test_check_axis(self):
+        assert check_axis(0, 3) == 0
+        assert check_axis(-1, 3) == 2
+        with pytest.raises(ValueError):
+            check_axis(3, 3)
+        with pytest.raises(ValueError):
+            check_axis(-4, 3)
+
+
+class TestEnsureArrays:
+    def test_index_array(self):
+        out = ensure_index_array([1, 2, 3])
+        assert out.dtype == np.int64
+        assert out.flags.c_contiguous
+
+    def test_index_array_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ensure_index_array([-1])
+
+    def test_value_array(self):
+        out = ensure_value_array([1, 2])
+        assert out.dtype == np.float64
+
+    def test_value_array_nonfinite(self):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_value_array([np.inf])
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert human_bytes(512) == "512 B"
+
+    def test_megabytes(self):
+        assert human_bytes(240 * 1024 * 1024) == "240.00 MB"
+
+    def test_gigabytes(self):
+        assert human_bytes(2.3 * 1024**3) == "2.30 GB"
+
+    def test_terabyte_cap(self):
+        assert human_bytes(5 * 1024**4).endswith("TB")
