@@ -1,0 +1,131 @@
+"""Amortized MTTKRP engine: cold vs steady-state micro-benchmark.
+
+Measures repeated :func:`repro.mttkrp.mttkrp_csf` calls on a synthetic
+3rd-order tensor (>= 1e5 nonzeros) in two configurations:
+
+* **seed** — ``amortize=False`` on a ``persistent=False`` tasking layer:
+  thread spawn per ``coforall``, ``np.add.at`` scatters, per-call argsort
+  and buffer allocation (the pre-engine behaviour);
+* **amortized** — the defaults: persistent worker pool, cached scatter
+  plans and segment-sum operators, reusable workspaces.
+
+Asserts ``np.allclose`` agreement on every algorithm/lock path and a
+>= 2x steady-state speedup over a full sweep (every mode under both sync
+policies), and writes the measurements to ``benchmarks/BENCH_mttkrp.json``
+for tracking.  Timings are the minimum over interleaved trials — the two
+configurations alternate within each trial — so shared-machine noise
+cannot favour either side.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.csf.build import build_csf_set
+from repro.mttkrp.variants import mttkrp_csf
+from repro.runtime.env import ChapelEnv
+from repro.runtime.tasking import make_tasking_layer
+from repro.tensor.generate import random_tensor
+
+DIMS = (400, 300, 200)
+NNZ = 120_000
+RANK = 16
+NTASKS = 2
+TRIALS = 7
+LOCK_CONFIGS = (False, True)
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_mttkrp.json"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tensor = random_tensor(DIMS, NNZ, seed=7)
+    rng = np.random.default_rng(123)
+    factors = [np.asarray(rng.random((d, RANK))) for d in tensor.dims]
+    csf_set = build_csf_set(tensor, allocation="one")  # root+internal+leaf
+    return tensor, factors, csf_set
+
+
+def _sweep(csf_set, factors, layer, *, amortize):
+    """One full pass: every mode under both sync policies."""
+    outs = []
+    for force_locks in LOCK_CONFIGS:
+        for mode in range(len(factors)):
+            out, info = mttkrp_csf(
+                csf_set, factors, mode, layer=layer,
+                force_locks=force_locks, amortize=amortize,
+            )
+            outs.append((force_locks, mode, info.algorithm, out))
+    return outs
+
+
+def _best_sweep_seconds(csf_set, factors, configs, trials=TRIALS):
+    """Per-config best single-sweep time over interleaved trials."""
+    best = {name: float("inf") for name, _, _ in configs}
+    for _ in range(trials):
+        for name, layer, amortize in configs:
+            start = time.perf_counter()
+            _sweep(csf_set, factors, layer, amortize=amortize)
+            best[name] = min(best[name], time.perf_counter() - start)
+    return best
+
+
+def test_amortized_engine_speedup(benchmark, workload):
+    tensor, factors, csf_set = workload
+    env = ChapelEnv(num_tasks=NTASKS)
+    seed_layer = make_tasking_layer(env, persistent=False)
+    amortized_layer = make_tasking_layer(env)
+    try:
+        # --- correctness: every algorithm/lock path agrees with the seed ---
+        seed_outs = _sweep(csf_set, factors, seed_layer, amortize=False)
+        cold_start = time.perf_counter()
+        amortized_outs = _sweep(csf_set, factors, amortized_layer, amortize=True)
+        cold_seconds = time.perf_counter() - cold_start
+        algorithms = set()
+        for (fl, mode, algo, expected), (_, _, _, got) in zip(seed_outs, amortized_outs):
+            assert np.allclose(got, expected, atol=1e-10), (fl, mode, algo)
+            algorithms.add(algo)
+        assert algorithms == {"root", "internal", "leaf"}
+
+        # --- timing: steady state (plans cached, pool warm) vs seed ---
+        best = benchmark.pedantic(
+            lambda: _best_sweep_seconds(
+                csf_set, factors,
+                [("seed", seed_layer, False), ("steady", amortized_layer, True)],
+            ),
+            rounds=1, iterations=1,
+        )
+        seed_seconds, steady_seconds = best["seed"], best["steady"]
+        speedup = seed_seconds / steady_seconds
+
+        ctx_stats = csf_set.mttkrp_context.stats()
+        pool_stats = amortized_layer.worker_pool.stats()
+        record = {
+            "dims": list(DIMS),
+            "nnz": tensor.nnz,
+            "rank": RANK,
+            "num_tasks": NTASKS,
+            "trials": TRIALS,
+            "cold_sweep_seconds": cold_seconds,
+            "steady_sweep_seconds": steady_seconds,
+            "seed_sweep_seconds": seed_seconds,
+            "steady_speedup_vs_seed": speedup,
+            "plan_cache": ctx_stats,
+            "worker_pool": pool_stats,
+        }
+        RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"\namortized MTTKRP engine: {speedup:.2f}x vs seed "
+              f"(seed {seed_seconds * 1e3:.1f} ms/sweep, "
+              f"steady {steady_seconds * 1e3:.1f} ms/sweep, "
+              f"cold {cold_seconds * 1e3:.1f} ms)")
+
+        assert ctx_stats["plan_hits"] > 0
+        assert pool_stats["dispatches"] > 0
+        assert speedup >= 2.0, record
+    finally:
+        seed_layer.shutdown()
+        amortized_layer.shutdown()

@@ -25,9 +25,29 @@ from typing import Sequence
 import numpy as np
 
 from repro._util import VALUE_DTYPE
+from repro.mttkrp.scatter import RowScatter
 from repro.tensor.coo import SparseTensor
 
 __all__ = ["als_step", "als_update_mode"]
+
+
+def _mode_scatter(tensor: SparseTensor, mode: int) -> RowScatter:
+    """The cached :class:`RowScatter` over ``coords[:, mode]``.
+
+    ``coords`` never changes for a given tensor, so the sort order and
+    segment boundaries are computed once per (tensor, mode) and reused by
+    every ALS sweep; the cache is invalidated if the coordinate array is
+    swapped out.
+    """
+    cache = getattr(tensor, "_completion_scatters", None)
+    if cache is None or cache.get("coords_id") != id(tensor.coords):
+        cache = {"coords_id": id(tensor.coords)}
+        tensor._completion_scatters = cache
+    sc = cache.get(mode)
+    if sc is None:
+        sc = RowScatter(tensor.coords[:, mode])
+        cache[mode] = sc
+    return sc
 
 
 def _hadamard_rows(
@@ -60,18 +80,18 @@ def als_update_mode(
     values = tensor.values
     dim = tensor.dims[mode]
     rank = factors[0].shape[1]
-    rows = coords[:, mode]
 
     g = _hadamard_rows(coords, factors, mode)
+    scatter = _mode_scatter(tensor, mode)
 
     # Per-row right-hand sides: Σ v·g.
     rhs = np.zeros((dim, rank), dtype=VALUE_DTYPE)
-    np.add.at(rhs, rows, values[:, None] * g)
+    scatter.scatter_accumulate(rhs, values[:, None] * g)
 
     # Per-row normal matrices: Σ g gᵀ + λI, scattered as outer products.
     normal = np.zeros((dim, rank, rank), dtype=VALUE_DTYPE)
     outer = g[:, :, None] * g[:, None, :]
-    np.add.at(normal, rows, outer)
+    scatter.scatter_accumulate(normal, outer)
     normal += regularization * np.eye(rank, dtype=VALUE_DTYPE)
 
     # batched solve: (I, R, R) x (I, R, 1) -> (I, R)

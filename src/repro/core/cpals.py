@@ -59,6 +59,12 @@ class CpalsResult:
     mttkrp_infos:
         One :class:`MttkrpInfo` per MTTKRP invocation, in execution order
         (records algorithm, variant and whether locks were used).
+    engine_stats:
+        Amortized-engine accounting for the run: scatter-plan cache
+        hits/misses and bytes (from the CSF set's
+        :class:`~repro.mttkrp.scatter.MttkrpContext`) merged with the
+        tasking layer's worker-pool reuse counters.  Empty when the run
+        used neither (e.g. interpreted variants with ``persistent=False``).
     """
 
     kruskal: KruskalTensor
@@ -68,6 +74,7 @@ class CpalsResult:
     timers: RoutineTimers
     counters: CostCounters
     mttkrp_infos: list[MttkrpInfo] = field(default_factory=list)
+    engine_stats: dict = field(default_factory=dict)
 
     @property
     def fit(self) -> float:
@@ -96,6 +103,14 @@ class CpalsResult:
                          f"{self.counters.lock_contended} contended)")
         else:
             lines.append("no-lock MTTKRP for all modes")
+        if self.engine_stats:
+            es = self.engine_stats
+            lines.append(
+                "amortized engine: "
+                f"{es.get('plan_hits', 0)}/{es.get('plan_hits', 0) + es.get('plan_misses', 0)} "
+                f"plan hits, {es.get('workers', 0)} pool workers over "
+                f"{es.get('dispatches', 0)} dispatches"
+            )
         return "\n".join(lines)
 
 
@@ -212,6 +227,12 @@ def cp_als(
             break
 
     kruskal = KruskalTensor(lam.copy(), [f.copy() for f in factors])
+    engine_stats: dict = {}
+    ctx = getattr(csf_set, "_mttkrp_context", None)
+    if ctx is not None:
+        engine_stats.update(ctx.stats())
+    if getattr(layer, "_pool", None) is not None:
+        engine_stats.update(layer.worker_pool.stats())
     return CpalsResult(
         kruskal=kruskal,
         fits=fits,
@@ -220,4 +241,5 @@ def cp_als(
         timers=timers,
         counters=counters,
         mttkrp_infos=infos,
+        engine_stats=engine_stats,
     )

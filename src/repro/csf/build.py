@@ -113,6 +113,23 @@ class CsfSet:
     def nmodes(self) -> int:
         return self.trees[0].nmodes
 
+    @property
+    def mttkrp_context(self):
+        """The set's lazily created :class:`~repro.mttkrp.scatter.MttkrpContext`.
+
+        Scatter plans and workspaces are keyed by tree identity, so the
+        cache lives with the object that owns the trees; repeated
+        :func:`~repro.mttkrp.mttkrp_csf` calls on the same set amortize all
+        per-call setup through it.
+        """
+        ctx = getattr(self, "_mttkrp_context", None)
+        if ctx is None:
+            from repro.mttkrp.scatter import MttkrpContext
+
+            ctx = MttkrpContext()
+            object.__setattr__(self, "_mttkrp_context", ctx)
+        return ctx
+
     def memory_bytes(self) -> int:
         """Total storage over all trees (the one/two/all trade-off number)."""
         return sum(t.memory_bytes() for t in self.trees)

@@ -20,6 +20,13 @@ modeled, matching the paper:
 from repro.mttkrp.locks_policy import needs_locks
 from repro.mttkrp.partition import nnz_balanced_blocks
 from repro.mttkrp.reference import dense_mttkrp_reference
+from repro.mttkrp.scatter import (
+    MttkrpContext,
+    RowScatter,
+    ScatterPlan,
+    Workspace,
+    sorted_scatter_add,
+)
 from repro.mttkrp.variants import ACCESS_VARIANTS, mttkrp, mttkrp_csf
 
 __all__ = [
@@ -29,4 +36,9 @@ __all__ = [
     "dense_mttkrp_reference",
     "needs_locks",
     "nnz_balanced_blocks",
+    "sorted_scatter_add",
+    "RowScatter",
+    "ScatterPlan",
+    "Workspace",
+    "MttkrpContext",
 ]

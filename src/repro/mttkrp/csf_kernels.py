@@ -25,6 +25,7 @@ import numpy as np
 from repro._util import VALUE_DTYPE
 from repro.csf.tree import CsfTensor
 from repro.mttkrp.partition import nnz_balanced_blocks
+from repro.mttkrp.scatter import ScatterPlan, TaskTraversal, Workspace
 from repro.runtime.locks import MutexPool
 from repro.runtime.reductions import array_reduce_buffers
 from repro.runtime.tasking import TaskingLayer
@@ -33,6 +34,7 @@ __all__ = [
     "root_range_vectorized",
     "internal_range_vectorized",
     "leaf_range_vectorized",
+    "leaf_range_sorted",
     "run_root_parallel",
     "run_scatter_privatized",
     "run_scatter_mutex",
@@ -53,6 +55,9 @@ def _upward_product(
     factors: Sequence[np.ndarray],
     ranges: list[tuple[int, int]],
     stop_level: int,
+    *,
+    trav: TaskTraversal | None = None,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
     """Bottom-up subtree accumulation down to (and excluding) ``stop_level``.
 
@@ -60,23 +65,64 @@ def _upward_product(
     multiplied by that level's factor rows, then segment-reduced so the
     caller gets one row per node of ``stop_level`` *without* the
     ``stop_level`` factor applied.
+
+    ``trav`` supplies the precomputed per-level segment structure and
+    ``fids``/``values`` slices; ``ws`` supplies reusable output buffers so
+    the steady state allocates nothing.  With both, segment reductions run
+    through the traversal's cached :class:`~repro.mttkrp.scatter.SegmentSum`
+    operators (compiled CSR matmul) instead of ``np.add.reduceat`` — same
+    segment membership, sums accumulated sequentially rather than pairwise,
+    so the paths agree to summation rounding (``allclose``).
     """
     nmodes = csf.nmodes
-    leaf_lo, leaf_hi = ranges[nmodes - 1]
+    if trav is None:
+        leaf_lo, leaf_hi = ranges[nmodes - 1]
+        leaf_fids = csf.fids[nmodes - 1][leaf_lo:leaf_hi]
+        leaf_vals = csf.values[leaf_lo:leaf_hi]
+    else:
+        leaf_fids = trav.fids[nmodes - 1]
+        leaf_vals = trav.values
     leaf_mode = csf.dim_perm[nmodes - 1]
-    w = csf.values[leaf_lo:leaf_hi, None] * factors[leaf_mode][csf.fids[nmodes - 1][leaf_lo:leaf_hi]]
+    if ws is None:
+        w = leaf_vals[:, None] * factors[leaf_mode][leaf_fids]
+    else:
+        w = ws.take(factors[leaf_mode], leaf_fids, ("up_take", nmodes - 1))
+        w *= leaf_vals[:, None]
     for level in range(nmodes - 2, stop_level, -1):
         nlo, nhi = ranges[level]
-        clo = ranges[level + 1][0]
-        starts = csf.fptr[level][nlo:nhi] - clo
-        w = np.add.reduceat(w, starts, axis=0)
+        if trav is None:
+            clo = ranges[level + 1][0]
+            starts = csf.fptr[level][nlo:nhi] - clo
+            fids = csf.fids[level][nlo:nhi]
+        else:
+            starts = trav.up_starts[level]
+            fids = trav.fids[level]
         mode = csf.dim_perm[level]
-        w *= factors[mode][csf.fids[level][nlo:nhi]]
+        if ws is None:
+            w = np.add.reduceat(w, starts, axis=0)
+            w *= factors[mode][fids]
+        elif trav is not None:
+            w = trav.up_segsum[level].apply(w, ws, ("up", level))
+            w *= ws.take(factors[mode], fids, ("up_take", level))
+        else:
+            reduced = ws.buf(("up", level), (nhi - nlo,) + w.shape[1:], w.dtype)
+            np.add.reduceat(w, starts, axis=0, out=reduced)
+            w = reduced
+            w *= ws.take(factors[mode], fids, ("up_take", level))
     # final reduction onto stop_level nodes (factor NOT applied)
     nlo, nhi = ranges[stop_level]
-    clo = ranges[stop_level + 1][0]
-    starts = csf.fptr[stop_level][nlo:nhi] - clo
-    return np.add.reduceat(w, starts, axis=0)
+    if trav is None:
+        clo = ranges[stop_level + 1][0]
+        starts = csf.fptr[stop_level][nlo:nhi] - clo
+    else:
+        starts = trav.up_starts[stop_level]
+    if ws is None:
+        return np.add.reduceat(w, starts, axis=0)
+    if trav is not None:
+        return trav.up_segsum[stop_level].apply(w, ws, ("up", stop_level))
+    reduced = ws.buf(("up", stop_level), (nhi - nlo,) + w.shape[1:], w.dtype)
+    np.add.reduceat(w, starts, axis=0, out=reduced)
+    return reduced
 
 
 def _downward_product(
@@ -84,21 +130,39 @@ def _downward_product(
     factors: Sequence[np.ndarray],
     ranges: list[tuple[int, int]],
     stop_level: int,
+    *,
+    trav: TaskTraversal | None = None,
+    ws: Workspace | None = None,
 ) -> np.ndarray:
     """Top-down root-to-node row products, expanded to ``stop_level`` nodes.
 
     The returned matrix has one row per node of ``stop_level`` and excludes
-    the ``stop_level`` factor itself.
+    the ``stop_level`` factor itself.  With ``trav``, the per-call
+    ``np.repeat`` span math is replaced by the traversal's cached expansion
+    indices; with ``ws``, every intermediate lands in a reused buffer.
     """
     lo, hi = ranges[0]
-    d = np.array(factors[csf.dim_perm[0]][csf.fids[0][lo:hi]], dtype=VALUE_DTYPE)
+    root_fids = csf.fids[0][lo:hi] if trav is None else trav.fids[0]
+    if ws is None:
+        d = factors[csf.dim_perm[0]][root_fids].astype(VALUE_DTYPE, copy=False)
+    else:
+        d = ws.take(factors[csf.dim_perm[0]], root_fids, ("down_take", 0))
     for level in range(1, stop_level + 1):
-        plo, phi = ranges[level - 1]
-        spans = np.diff(csf.fptr[level - 1][plo : phi + 1])
-        d = np.repeat(d, spans, axis=0)
+        if trav is None:
+            plo, phi = ranges[level - 1]
+            spans = np.diff(csf.fptr[level - 1][plo : phi + 1])
+            d = np.repeat(d, spans, axis=0)
+        elif ws is None:
+            d = d[trav.down_expand[level]]
+        else:
+            d = ws.take(d, trav.down_expand[level], ("down", level))
         if level < stop_level:
             nlo, nhi = ranges[level]
-            d = d * factors[csf.dim_perm[level]][csf.fids[level][nlo:nhi]]
+            fids = csf.fids[level][nlo:nhi] if trav is None else trav.fids[level]
+            if ws is None:
+                d = d * factors[csf.dim_perm[level]][fids]
+            else:
+                d *= ws.take(factors[csf.dim_perm[level]], fids, ("down_take", level))
     return d
 
 
@@ -108,20 +172,25 @@ def root_range_vectorized(
     out: np.ndarray,
     lo: int,
     hi: int,
+    *,
+    trav: TaskTraversal | None = None,
+    ws: Workspace | None = None,
 ) -> None:
     """Root-mode MTTKRP over slices ``[lo, hi)``, accumulated into ``out``.
 
     Output rows ``fids[0][lo:hi]`` are distinct, so concurrent calls on
-    disjoint slice ranges are race-free.
+    disjoint slice ranges are race-free.  ``trav``/``ws`` enable the
+    amortized path (cached traversal indices, reused buffers).
     """
     if hi <= lo:
         return
-    ranges = _level_ranges(csf, lo, hi)
+    ranges = _level_ranges(csf, lo, hi) if trav is None else trav.ranges
     if csf.nmodes == 1:
         np.add.at(out, csf.fids[0][lo:hi], csf.values[lo:hi, None])
         return
-    w = _upward_product(csf, factors, ranges, stop_level=0)
-    out[csf.fids[0][lo:hi]] += w
+    w = _upward_product(csf, factors, ranges, stop_level=0, trav=trav, ws=ws)
+    rows = csf.fids[0][lo:hi] if trav is None else trav.fids[0]
+    out[rows] += w
 
 
 def leaf_range_vectorized(
@@ -129,12 +198,16 @@ def leaf_range_vectorized(
     factors: Sequence[np.ndarray],
     lo: int,
     hi: int,
+    *,
+    trav: TaskTraversal | None = None,
+    ws: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Leaf-mode MTTKRP contributions from slices ``[lo, hi)``.
 
     Returns ``(rows, contribs)`` — the caller owns the scatter-add, because
     leaf rows repeat across tasks and synchronization policy lives a level
-    up (privatize vs mutex).
+    up (privatize vs mutex).  With ``ws``, ``contribs`` is a reused
+    workspace buffer valid until the task's next kernel call.
     """
     nmodes = csf.nmodes
     if nmodes < 2:
@@ -142,12 +215,53 @@ def leaf_range_vectorized(
     if hi <= lo:
         rank = factors[0].shape[1]
         return np.empty(0, dtype=np.int64), np.empty((0, rank), dtype=VALUE_DTYPE)
-    ranges = _level_ranges(csf, lo, hi)
-    d = _downward_product(csf, factors, ranges, stop_level=nmodes - 1)
-    leaf_lo, leaf_hi = ranges[nmodes - 1]
-    rows = csf.fids[nmodes - 1][leaf_lo:leaf_hi]
-    contribs = csf.values[leaf_lo:leaf_hi, None] * d
+    ranges = _level_ranges(csf, lo, hi) if trav is None else trav.ranges
+    d = _downward_product(csf, factors, ranges, stop_level=nmodes - 1, trav=trav, ws=ws)
+    if trav is None:
+        leaf_lo, leaf_hi = ranges[nmodes - 1]
+        rows = csf.fids[nmodes - 1][leaf_lo:leaf_hi]
+        vals = csf.values[leaf_lo:leaf_hi]
+    else:
+        rows = trav.fids[nmodes - 1]
+        vals = trav.values
+    if ws is None:
+        contribs = vals[:, None] * d
+    else:
+        d *= vals[:, None]
+        contribs = d
     return rows, contribs
+
+
+def leaf_range_sorted(
+    csf: CsfTensor,
+    factors: Sequence[np.ndarray],
+    plan: ScatterPlan,
+    tid: int,
+    ws: Workspace,
+) -> np.ndarray:
+    """Leaf-mode contributions emitted directly in scatter-sorted order.
+
+    Uses the plan's ``leaf_expand_sorted`` indices (the final downward
+    expansion composed with the scatter sort permutation) and pre-permuted
+    values, so the caller's :class:`~repro.mttkrp.scatter.RowScatter` can
+    reduce with ``presorted=True`` — no per-call ``O(nnz)`` sort gather.
+    Elementwise products are identical to :func:`leaf_range_vectorized`
+    followed by the sort gather, so results match that path exactly.
+    """
+    trav = plan.traversals[tid]
+    nmodes = csf.nmodes
+    if trav.hi <= trav.lo:
+        rank = factors[0].shape[1]
+        return np.empty((0, rank), dtype=VALUE_DTYPE)
+    d = _downward_product(
+        csf, factors, trav.ranges, stop_level=nmodes - 2, trav=trav, ws=ws
+    )
+    if nmodes > 2:
+        level = nmodes - 2
+        d *= ws.take(factors[csf.dim_perm[level]], trav.fids[level], ("down_take", level))
+    contribs = ws.take(d, plan.leaf_expand_sorted[tid], ("leaf_sorted",))
+    contribs *= plan.leaf_values_sorted[tid][:, None]
+    return contribs
 
 
 def internal_range_vectorized(
@@ -156,6 +270,9 @@ def internal_range_vectorized(
     level: int,
     lo: int,
     hi: int,
+    *,
+    trav: TaskTraversal | None = None,
+    ws: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Internal-mode MTTKRP contributions for tree ``level`` (0<level<N-1).
 
@@ -169,29 +286,52 @@ def internal_range_vectorized(
     if hi <= lo:
         rank = factors[0].shape[1]
         return np.empty(0, dtype=np.int64), np.empty((0, rank), dtype=VALUE_DTYPE)
-    ranges = _level_ranges(csf, lo, hi)
-    d = _downward_product(csf, factors, ranges, stop_level=level)
-    u = _upward_product(csf, factors, ranges, stop_level=level)
+    ranges = _level_ranges(csf, lo, hi) if trav is None else trav.ranges
+    d = _downward_product(csf, factors, ranges, stop_level=level, trav=trav, ws=ws)
+    u = _upward_product(csf, factors, ranges, stop_level=level, trav=trav, ws=ws)
     nlo, nhi = ranges[level]
-    rows = csf.fids[level][nlo:nhi]
-    return rows, d * u
+    rows = csf.fids[level][nlo:nhi] if trav is None else trav.fids[level]
+    if ws is None:
+        return rows, d * u
+    np.multiply(d, u, out=d)
+    return rows, d
 
 
 # ----------------------------------------------------------------------
 # parallel drivers
 # ----------------------------------------------------------------------
+def _task_context(
+    plan: ScatterPlan | None,
+    workspaces: Sequence[Workspace] | None,
+    tid: int,
+) -> tuple[TaskTraversal | None, Workspace | None]:
+    trav = plan.traversals[tid] if plan is not None else None
+    ws = workspaces[tid] if workspaces is not None else None
+    return trav, ws
+
+
 def run_root_parallel(
     csf: CsfTensor,
     factors: Sequence[np.ndarray],
     out: np.ndarray,
     layer: TaskingLayer,
+    *,
+    plan: ScatterPlan | None = None,
+    workspaces: Sequence[Workspace] | None = None,
 ) -> None:
-    """Parallel root-mode MTTKRP: nnz-balanced slice blocks, no locks."""
+    """Parallel root-mode MTTKRP: nnz-balanced slice blocks, no locks.
+
+    With a :class:`~repro.mttkrp.scatter.ScatterPlan` the per-call
+    partitioning and traversal setup come from the cache.
+    """
     ntasks = layer.env.num_tasks
-    bounds = nnz_balanced_blocks(csf, ntasks)
+    bounds = plan.bounds if plan is not None else nnz_balanced_blocks(csf, ntasks)
 
     def task(tid: int) -> None:
-        root_range_vectorized(csf, factors, out, int(bounds[tid]), int(bounds[tid + 1]))
+        trav, ws = _task_context(plan, workspaces, tid)
+        root_range_vectorized(
+            csf, factors, out, int(bounds[tid]), int(bounds[tid + 1]), trav=trav, ws=ws
+        )
 
     layer.coforall(ntasks, task)
 
@@ -202,26 +342,57 @@ def run_scatter_privatized(
     out: np.ndarray,
     layer: TaskingLayer,
     compute_range,
+    *,
+    plan: ScatterPlan | None = None,
+    buffers: Sequence[np.ndarray] | None = None,
+    workspaces: Sequence[Workspace] | None = None,
+    presorted: bool = False,
 ) -> None:
     """Privatized parallel scatter: per-task buffers + reduction.
 
-    ``compute_range(lo, hi) -> (rows, contribs)`` is one of the
+    ``compute_range(lo, hi, tid) -> (rows, contribs)`` is one of the
     internal/leaf range kernels.  Each task scatter-adds into its own
     ``out``-shaped buffer; buffers are combined by a row-blocked parallel
     reduction (the reduction is ``O(ntasks · I · R)`` work and memory —
     the cost SPLATT's privatization heuristic is guarding).
+
+    With a plan, each task's scatter runs through its cached
+    :class:`~repro.mttkrp.scatter.RowScatter` (segment sums instead of
+    ``np.add.at``), and ``buffers`` — reusable, owned by the plan's cache —
+    are *assigned* rather than accumulated: rows a task never touches stay
+    zero across calls, so the buffers are never re-zeroed.
     """
     ntasks = layer.env.num_tasks
-    bounds = nnz_balanced_blocks(csf, ntasks)
+    bounds = plan.bounds if plan is not None else nnz_balanced_blocks(csf, ntasks)
     if ntasks == 1:
-        rows, contribs = compute_range(int(bounds[0]), int(bounds[1]))
-        np.add.at(out, rows, contribs)
+        rows, contribs = compute_range(int(bounds[0]), int(bounds[1]), 0)
+        if plan is not None:
+            ws = workspaces[0] if workspaces is not None else None
+            plan.scatters[0].scatter_accumulate(out, contribs, ws, presorted=presorted)
+        else:
+            np.add.at(out, rows, contribs)
         return
-    buffers = [np.zeros_like(out) for _ in range(ntasks)]
+    if plan is None or buffers is None:
+        buffers = [np.zeros_like(out) for _ in range(ntasks)]
 
-    def task(tid: int) -> None:
-        rows, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]))
-        np.add.at(buffers[tid], rows, contribs)
+        def task(tid: int) -> None:
+            rows, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]), tid)
+            if plan is not None:
+                ws = workspaces[tid] if workspaces is not None else None
+                plan.scatters[tid].scatter_accumulate(
+                    buffers[tid], contribs, ws, presorted=presorted
+                )
+            else:
+                np.add.at(buffers[tid], rows, contribs)
+
+    else:
+
+        def task(tid: int) -> None:
+            _, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]), tid)
+            ws = workspaces[tid] if workspaces is not None else None
+            plan.scatters[tid].scatter_assign(
+                buffers[tid], contribs, ws, presorted=presorted
+            )
 
     layer.coforall(ntasks, task)
     array_reduce_buffers(layer, out, buffers)
@@ -234,19 +405,30 @@ def run_scatter_mutex(
     layer: TaskingLayer,
     pool: MutexPool,
     compute_range,
+    *,
+    plan: ScatterPlan | None = None,
+    workspaces: Sequence[Workspace] | None = None,
+    presorted: bool = False,
 ) -> None:
     """Mutex-pool parallel scatter: shared output, hashed row locks.
 
     Each task groups its ``(rows, contribs)`` by lock bucket and performs
     each bucket's scatter-add while holding that bucket's lock — the
     vectorized rendition of SPLATT's lock-per-row update, preserving real
-    lock traffic and contention.
+    lock traffic and contention.  With a plan (built with this pool's
+    size), the bucket grouping and per-row pre-reduction are cached, so the
+    steady state sorts nothing — lock traffic is unchanged: one acquire per
+    task-bucket pair, same hashed lock ids.
     """
     ntasks = layer.env.num_tasks
-    bounds = nnz_balanced_blocks(csf, ntasks)
+    bounds = plan.bounds if plan is not None else nnz_balanced_blocks(csf, ntasks)
 
     def task(tid: int) -> None:
-        rows, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]))
+        rows, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]), tid)
+        if plan is not None:
+            ws = workspaces[tid] if workspaces is not None else None
+            plan.scatters[tid].scatter_mutex(out, contribs, pool, ws, presorted=presorted)
+            return
         if rows.size == 0:
             return
         buckets = rows % pool.size

@@ -60,13 +60,20 @@ ACCESS_VARIANTS: tuple[str, ...] = ("slicing", "index2d", "pointer", "vectorized
 
 @dataclass
 class MttkrpInfo:
-    """What one MTTKRP invocation actually executed."""
+    """What one MTTKRP invocation actually executed.
+
+    ``plan_hit`` reports scatter-plan cache behaviour for the vectorized
+    amortized path: ``True`` (cached plan reused), ``False`` (plan built
+    this call), or ``None`` (no plan involved — interpreted variants or
+    ``amortize=False``).
+    """
 
     mode: int
     algorithm: str  # "root" | "internal" | "leaf"
     variant: str
     used_locks: bool
     ntasks: int
+    plan_hit: bool | None = None
 
 
 # ======================================================================
@@ -374,6 +381,7 @@ def mttkrp_csf(
     pool: MutexPool | None = None,
     force_locks: bool | None = None,
     out: np.ndarray | None = None,
+    amortize: bool = True,
 ) -> tuple[np.ndarray, MttkrpInfo]:
     """MTTKRP for output ``mode`` using a prebuilt CSF set.
 
@@ -398,6 +406,12 @@ def mttkrp_csf(
         to :func:`needs_locks`.
     out:
         Optional preallocated ``(I_mode, R)`` output, zeroed by this call.
+    amortize:
+        Use the CSF set's :class:`~repro.mttkrp.scatter.MttkrpContext`
+        (vectorized variant only): precomputed scatter plans and reusable
+        workspaces make repeated calls on the same set allocation-free.
+        ``False`` recovers the seed per-call behaviour (used as the
+        benchmark baseline).  Results are identical either way.
 
     Returns
     -------
@@ -436,27 +450,74 @@ def mttkrp_csf(
 
     the_pool: MutexPool | None = None
     if use_locks:
-        the_pool = pool if pool is not None else make_mutex_pool(
-            mutex_kind, size=pool_size, env=env
-        )
-
-    if variant == "vectorized":
-        if algorithm == "root":
-            csf_kernels.run_root_parallel(tree, factors, out, layer)
+        if pool is not None:
+            the_pool = pool
+        elif variant == "vectorized" and amortize:
+            the_pool = csf_set.mttkrp_context.mutex_pool(mutex_kind, pool_size, env)
         else:
+            the_pool = make_mutex_pool(mutex_kind, size=pool_size, env=env)
+
+    plan_hit: bool | None = None
+    if variant == "vectorized":
+        plan = None
+        workspaces = None
+        buffers = None
+        ntasks = env.num_tasks
+        if amortize:
+            ctx = csf_set.mttkrp_context
+            level = 0 if algorithm == "root" else tree.level_of_mode(mode)
+            psize = the_pool.size if the_pool is not None else None
+            plan, plan_hit = ctx.plan(tree, level, ntasks, psize)
+            workspaces = ctx.workspaces(tree, ntasks)
+            if the_pool is None and algorithm != "root" and ntasks > 1:
+                buffers = ctx.buffers(tree, level, ntasks, out.shape)
+        if algorithm == "root":
+            csf_kernels.run_root_parallel(
+                tree, factors, out, layer, plan=plan, workspaces=workspaces
+            )
+        else:
+            def _ctx(tid):
+                if plan is None:
+                    return None, None
+                return plan.traversals[tid], workspaces[tid] if workspaces else None
+
+            presorted = False
             if algorithm == "leaf":
-                compute = lambda lo, hi: csf_kernels.leaf_range_vectorized(
-                    tree, factors, lo, hi
-                )
+                if plan is not None and plan.leaf_expand_sorted is not None:
+                    # contribs come out already in scatter-sorted order; the
+                    # per-call O(nnz) sort gather disappears entirely.
+                    presorted = True
+
+                    def compute(lo, hi, tid):
+                        ws = workspaces[tid]
+                        return None, csf_kernels.leaf_range_sorted(
+                            tree, factors, plan, tid, ws
+                        )
+                else:
+                    def compute(lo, hi, tid):
+                        trav, ws = _ctx(tid)
+                        return csf_kernels.leaf_range_vectorized(
+                            tree, factors, lo, hi, trav=trav, ws=ws
+                        )
             else:
                 level = tree.level_of_mode(mode)
-                compute = lambda lo, hi: csf_kernels.internal_range_vectorized(
-                    tree, factors, level, lo, hi
-                )
+
+                def compute(lo, hi, tid):
+                    trav, ws = _ctx(tid)
+                    return csf_kernels.internal_range_vectorized(
+                        tree, factors, level, lo, hi, trav=trav, ws=ws
+                    )
             if the_pool is not None:
-                csf_kernels.run_scatter_mutex(tree, factors, out, layer, the_pool, compute)
+                csf_kernels.run_scatter_mutex(
+                    tree, factors, out, layer, the_pool, compute,
+                    plan=plan, workspaces=workspaces, presorted=presorted,
+                )
             else:
-                csf_kernels.run_scatter_privatized(tree, factors, out, layer, compute)
+                csf_kernels.run_scatter_privatized(
+                    tree, factors, out, layer, compute,
+                    plan=plan, buffers=buffers, workspaces=workspaces,
+                    presorted=presorted,
+                )
     else:
         _run_interpreted(tree, factors, out, algorithm, variant, layer, the_pool)
 
@@ -466,6 +527,7 @@ def mttkrp_csf(
         variant=variant,
         used_locks=use_locks,
         ntasks=env.num_tasks,
+        plan_hit=plan_hit,
     )
     return out, info
 

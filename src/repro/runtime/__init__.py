@@ -23,6 +23,7 @@ from repro.runtime.atomics import AtomicBool, AtomicInt, AtomicReal
 from repro.runtime.constructs import Barrier, TaskHandle, begin, cobegin
 from repro.runtime.env import ChapelEnv
 from repro.runtime.locks import AtomicLockPool, MutexPool, SyncLockPool, make_mutex_pool
+from repro.runtime.pool import WorkerPool
 from repro.runtime.reductions import (
     array_reduce_buffers,
     max_reduce,
@@ -60,4 +61,5 @@ __all__ = [
     "cobegin",
     "TaskHandle",
     "Barrier",
+    "WorkerPool",
 ]

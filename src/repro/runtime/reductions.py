@@ -18,7 +18,6 @@ operations" as the Chapel features of *significant value* for the port
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Sequence, TypeVar
 
 import numpy as np

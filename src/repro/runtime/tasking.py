@@ -16,16 +16,25 @@ iteration space ``0..n-1`` is blocked over the layer's task count and
 ``body(lo, hi, tid)`` processes one block.  The paper's §IV-B pattern —
 an ``omp for`` nested inside ``omp parallel`` — maps to ``coforall`` +
 :func:`static_block`, and that is exactly how the MTTKRP kernels use it.
+
+Like Qthreads, a layer does not spawn an OS thread per task: every
+multi-task ``coforall`` dispatches onto the layer's persistent
+:class:`~repro.runtime.pool.WorkerPool` (created on first use, reused for
+the lifetime of the layer), so steady-state parallel loops pay two event
+round-trips instead of a thread create/start/join cycle.  Pass
+``persistent=False`` to recover the spawn-per-call behaviour (used by the
+amortization benchmarks as the "before" configuration).
 """
 
 from __future__ import annotations
 
-import threading
+import time
 from abc import ABC
 from typing import Callable
 
 from repro.runtime.accounting import CostCounters
 from repro.runtime.env import ChapelEnv
+from repro.runtime.pool import WorkerPool, run_ephemeral
 
 __all__ = [
     "TaskingLayer",
@@ -59,7 +68,13 @@ class TaskingLayer(ABC):
     #: Layer name ("qthreads" / "fifo").
     name: str = ""
 
-    def __init__(self, env: ChapelEnv, counters: CostCounters | None = None):
+    def __init__(
+        self,
+        env: ChapelEnv,
+        counters: CostCounters | None = None,
+        *,
+        persistent: bool = True,
+    ):
         if env.tasking_layer != self.name:
             raise ValueError(
                 f"env requests tasking layer {env.tasking_layer!r} "
@@ -67,38 +82,57 @@ class TaskingLayer(ABC):
             )
         self.env = env
         self.counters = counters if counters is not None else CostCounters()
+        self.persistent = persistent
+        self._pool: WorkerPool | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def worker_pool(self) -> WorkerPool:
+        """The layer's persistent :class:`WorkerPool` (created on first use).
+
+        Qthreads pins workers to cores when ``env.qt_affinity`` is set (the
+        Qthreads default); fifo never pins.
+        """
+        if self._pool is None:
+            self._pool = WorkerPool(
+                name=f"{self.name or 'chpl'}-worker",
+                pin_workers=self.env.qt_affinity and self.name == "qthreads",
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Stop and join the layer's pool workers (safe if never started)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(join=False)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def coforall(self, ntasks: int, body: Callable[[int], None]) -> None:
         """Run ``body(tid)`` for ``tid in 0..ntasks-1`` concurrently.
 
-        ``ntasks == 1`` runs inline (no thread spawn), matching Chapel's
-        serialization of singleton coforalls.  Exceptions raised by any
-        task propagate to the caller after all tasks join (first one wins).
+        ``ntasks == 1`` runs inline (no thread involved), matching Chapel's
+        serialization of singleton coforalls.  Multi-task loops dispatch to
+        the persistent worker pool (or fresh threads when the layer was
+        built with ``persistent=False``).  Exceptions raised by any task
+        propagate to the caller after all tasks finish (first one wins).
         """
         if ntasks < 1:
             raise ValueError("ntasks must be >= 1")
         if ntasks == 1:
             body(0)
             return
-        errors: list[BaseException] = []
-        errors_lock = threading.Lock()
-
-        def run(tid: int) -> None:
-            try:
-                body(tid)
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                with errors_lock:
-                    errors.append(exc)
-
-        threads = [threading.Thread(target=run, args=(tid,), daemon=True) for tid in range(ntasks)]
         self.counters.add(tasks_spawned=ntasks)
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if errors:
-            raise errors[0]
+        if self.persistent:
+            self.worker_pool.run(ntasks, body)
+        else:
+            run_ephemeral(ntasks, body)
 
     def forall(self, n: int, body: Callable[[int, int, int], None]) -> None:
         """Data-parallel loop: block ``0..n-1`` over ``env.num_tasks`` tasks.
@@ -117,8 +151,6 @@ class TaskingLayer(ABC):
     def task_yield(self) -> None:
         """``chpl_task_yield()`` — cede the thread; counted."""
         self.counters.add(task_yields=1)
-        import time
-
         time.sleep(0)
 
 
@@ -144,10 +176,19 @@ class FifoLayer(TaskingLayer):
     name = "fifo"
 
 
-def make_tasking_layer(env: ChapelEnv, counters: CostCounters | None = None) -> TaskingLayer:
-    """Instantiate the layer selected by ``env.tasking_layer``."""
+def make_tasking_layer(
+    env: ChapelEnv,
+    counters: CostCounters | None = None,
+    *,
+    persistent: bool = True,
+) -> TaskingLayer:
+    """Instantiate the layer selected by ``env.tasking_layer``.
+
+    ``persistent=False`` disables the worker pool (spawn-per-coforall, the
+    seed behaviour) — used by the amortization benchmarks as a baseline.
+    """
     if env.tasking_layer == "qthreads":
-        return QthreadsLayer(env, counters)
+        return QthreadsLayer(env, counters, persistent=persistent)
     if env.tasking_layer == "fifo":
-        return FifoLayer(env, counters)
+        return FifoLayer(env, counters, persistent=persistent)
     raise ValueError(f"unknown tasking layer {env.tasking_layer!r}")

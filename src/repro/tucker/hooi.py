@@ -189,9 +189,13 @@ def tucker_hooi(
         axis_modes = [last, *reversed(rest)]  # current axis -> mode id
         core = core_c.transpose([axis_modes.index(m) for m in range(nmodes)])
 
-        fit = 1.0 - float(
-            np.sqrt(max(xnorm2 - float((core**2).sum()), 0.0)) / np.sqrt(xnorm2)
-        )
+        residual2 = xnorm2 - float((core**2).sum())
+        if residual2 < 8.0 * np.finfo(VALUE_DTYPE).eps * xnorm2:
+            # ‖X‖² and ‖G‖² agree to machine precision: the sqrt would
+            # amplify cancellation noise into O(1e-8) fit jitter, so
+            # report exact recovery instead
+            residual2 = 0.0
+        fit = 1.0 - float(np.sqrt(residual2) / np.sqrt(xnorm2))
         fits.append(fit)
         iterations = it + 1
         if tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < tolerance:

@@ -26,6 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro._util import VALUE_DTYPE, check_axis, prod
+from repro.mttkrp.scatter import sorted_scatter_add
 from repro.tensor.coo import SparseTensor
 
 __all__ = ["ttmc", "ttmc_dense_reference"]
@@ -76,7 +77,9 @@ def ttmc(
         for m in reversed(rest):
             rows = factors[m][c[:, m]]  # (chunk, R_m)
             acc = (acc[:, :, None] * rows[:, None, :]).reshape(acc.shape[0], -1)
-        np.add.at(out, c[:, mode], acc)
+        # chunk rows change every call, so use the one-shot segmented
+        # scatter rather than a cached plan
+        sorted_scatter_add(out, c[:, mode], acc)
     return out
 
 
