@@ -25,6 +25,7 @@ from repro.core import CpalsOptions, CpalsResult, KruskalTensor, RoutineTimers, 
 from repro.csf import CsfSet, CsfTensor, build_csf, build_csf_set
 from repro.distributed import DistributedResult, LocaleGrid, choose_grid, distributed_cp_als
 from repro.mttkrp import ACCESS_VARIANTS, dense_mttkrp_reference, mttkrp, mttkrp_csf
+from repro.observe import TraceRecorder, tracing
 from repro.runtime import AtomicLockPool, ChapelEnv, SyncLockPool, SyncVar, make_tasking_layer
 from repro.tucker import TuckerResult, ttmc, tucker_hooi
 from repro.tensor import (
@@ -81,6 +82,9 @@ __all__ = [
     "mttkrp_csf",
     "ACCESS_VARIANTS",
     "dense_mttkrp_reference",
+    # observe
+    "tracing",
+    "TraceRecorder",
     # runtime
     "ChapelEnv",
     "AtomicLockPool",

@@ -35,6 +35,7 @@ from repro.completion.driver import ALGORITHMS, CompletionOptions, complete
 from repro.core.cpals import cp_als
 from repro.core.model_io import save_kruskal_dir, save_kruskal_npz
 from repro.core.options import CpalsOptions, DEFAULT_ITERATIONS, DEFAULT_RANK
+from repro.observe import tracing
 from repro.runtime.env import ChapelEnv
 from repro.tensor.generate import DATASET_SIGNATURES, synthetic_dataset
 from repro.tensor.io import load_tns, save_tns
@@ -49,6 +50,23 @@ def _load(path: str):
     if dedup.nnz != tensor.nnz:
         print(f"note: summed {tensor.nnz - dedup.nnz} duplicate coordinates")
     return dedup
+
+
+def _traced(args: argparse.Namespace):
+    """Context manager running the command under ``tracing`` when the
+    subcommand was given ``--trace PATH`` (no-op recorder otherwise)."""
+    path = getattr(args, "trace", None)
+    if path is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    return tracing(path)
+
+
+def _report_trace(args: argparse.Namespace) -> None:
+    path = getattr(args, "trace", None)
+    if path is not None:
+        print(f"wrote Chrome trace to {path} (load in a Perfetto/chrome://tracing UI)")
 
 
 # ----------------------------------------------------------------------
@@ -128,7 +146,9 @@ def _cmd_cpd(args: argparse.Namespace) -> int:
         env=ChapelEnv(num_tasks=args.tasks),
         seed=args.seed,
     )
-    result = cp_als(tensor, args.rank, opts)
+    with _traced(args):
+        result = cp_als(tensor, args.rank, opts)
+    _report_trace(args)
     print(result.summary())
     if args.output:
         out = Path(args.output)
@@ -151,7 +171,9 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         validation_fraction=args.validation,
         seed=args.seed,
     )
-    result = complete(tensor, args.rank, opts)
+    with _traced(args):
+        result = complete(tensor, args.rank, opts)
+    _report_trace(args)
     print(f"algorithm: {result.algorithm}")
     print(f"epochs:    {result.epochs} (best: {result.best_epoch}, "
           f"converged: {result.converged})")
@@ -174,12 +196,14 @@ def _cmd_tucker(args: argparse.Namespace) -> int:
     ranks = tuple(args.ranks)
     if len(ranks) == 1:
         ranks = ranks * tensor.nmodes
-    result = tucker_hooi(
-        tensor, ranks,
-        max_iterations=args.iterations,
-        tolerance=args.tolerance,
-        seed=args.seed,
-    )
+    with _traced(args):
+        result = tucker_hooi(
+            tensor, ranks,
+            max_iterations=args.iterations,
+            tolerance=args.tolerance,
+            seed=args.seed,
+        )
+    _report_trace(args)
     print(f"fit = {result.fit:.6f} after {result.iterations} sweeps "
           f"(converged: {result.converged})")
     print(f"core: {'x'.join(str(r) for r in result.ranks)}  "
@@ -266,7 +290,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         "hub skew, conditioning)")
     p.set_defaults(fn=_cmd_check)
 
-    p = sub.add_parser("cpd", help="CP-ALS decomposition")
+    p = sub.add_parser("cpd", aliases=["decompose"], help="CP-ALS decomposition")
     p.add_argument("tensor")
     p.add_argument("--rank", "-r", type=int, default=DEFAULT_RANK)
     p.add_argument("--iterations", "-i", type=int, default=DEFAULT_ITERATIONS)
@@ -281,6 +305,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--splatt-format", action="store_true",
                    help="write the model as a SPLATT-style directory "
                         "(lambda.mat + mode<N>.mat) instead of .npz")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome-trace-format JSON timeline of the run")
     p.set_defaults(fn=_cmd_cpd)
 
     p = sub.add_parser("complete", help="tensor completion (missing values)")
@@ -293,6 +319,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--validation", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", "-o", help="write factors as .npz")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome-trace-format JSON timeline of the run")
     p.set_defaults(fn=_cmd_complete)
 
     p = sub.add_parser("tucker", help="Tucker decomposition (HOOI)")
@@ -303,6 +331,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=1e-5)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", "-o", help="write core + factors as .npz")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome-trace-format JSON timeline of the run")
     p.set_defaults(fn=_cmd_tucker)
 
     p = sub.add_parser("compare", help="factor match score between two saved models")

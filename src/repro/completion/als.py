@@ -26,6 +26,7 @@ import numpy as np
 
 from repro._util import VALUE_DTYPE
 from repro.mttkrp.scatter import RowScatter
+from repro.observe import spans as _obs
 from repro.tensor.coo import SparseTensor
 
 __all__ = ["als_step", "als_update_mode"]
@@ -81,21 +82,22 @@ def als_update_mode(
     dim = tensor.dims[mode]
     rank = factors[0].shape[1]
 
-    g = _hadamard_rows(coords, factors, mode)
-    scatter = _mode_scatter(tensor, mode)
+    with _obs.span("als.update_mode", mode=mode, nnz=tensor.nnz, rank=rank):
+        g = _hadamard_rows(coords, factors, mode)
+        scatter = _mode_scatter(tensor, mode)
 
-    # Per-row right-hand sides: Σ v·g.
-    rhs = np.zeros((dim, rank), dtype=VALUE_DTYPE)
-    scatter.scatter_accumulate(rhs, values[:, None] * g)
+        # Per-row right-hand sides: Σ v·g.
+        rhs = np.zeros((dim, rank), dtype=VALUE_DTYPE)
+        scatter.scatter_accumulate(rhs, values[:, None] * g)
 
-    # Per-row normal matrices: Σ g gᵀ + λI, scattered as outer products.
-    normal = np.zeros((dim, rank, rank), dtype=VALUE_DTYPE)
-    outer = g[:, :, None] * g[:, None, :]
-    scatter.scatter_accumulate(normal, outer)
-    normal += regularization * np.eye(rank, dtype=VALUE_DTYPE)
+        # Per-row normal matrices: Σ g gᵀ + λI, scattered as outer products.
+        normal = np.zeros((dim, rank, rank), dtype=VALUE_DTYPE)
+        outer = g[:, :, None] * g[:, None, :]
+        scatter.scatter_accumulate(normal, outer)
+        normal += regularization * np.eye(rank, dtype=VALUE_DTYPE)
 
-    # batched solve: (I, R, R) x (I, R, 1) -> (I, R)
-    factors[mode] = np.linalg.solve(normal, rhs[:, :, None])[:, :, 0]
+        # batched solve: (I, R, R) x (I, R, 1) -> (I, R)
+        factors[mode] = np.linalg.solve(normal, rhs[:, :, None])[:, :, 0]
 
 
 def als_step(

@@ -18,6 +18,7 @@ from repro.completion.als import als_step
 from repro.completion.ccd import ccd_epoch
 from repro.completion.losses import predict_entries, rmse
 from repro.completion.sgd import sgd_epoch
+from repro.observe import spans as _obs
 from repro.tensor.coo import SparseTensor
 
 __all__ = ["ALGORITHMS", "CompletionOptions", "CompletionResult", "complete"]
@@ -168,40 +169,50 @@ def complete(
     ccd_residual: np.ndarray | None = None
 
     epochs_run = 0
-    for epoch in range(opts.max_epochs):
-        if opts.algorithm == "als":
-            als_step(train, factors, regularization=opts.regularization)
-        elif opts.algorithm == "sgd":
-            sgd_epoch(
-                train, factors,
-                learn_rate=learn_rate,
-                regularization=opts.regularization,
-                chunk_size=opts.sgd_chunk_size,
-                rng=rng,
-            )
-            learn_rate *= opts.learn_rate_decay
-        else:  # ccd
-            ccd_residual = ccd_epoch(
-                train, factors,
-                regularization=opts.regularization,
-                residual=ccd_residual,
-            )
+    run_span = _obs.span(
+        "completion",
+        algorithm=opts.algorithm,
+        rank=rank,
+        nnz=train.nnz,
+        dims=list(train.dims),
+    )
+    with run_span:
+        for epoch in range(opts.max_epochs):
+            with _obs.span("completion.epoch", epoch=epoch + 1):
+                if opts.algorithm == "als":
+                    als_step(train, factors, regularization=opts.regularization)
+                elif opts.algorithm == "sgd":
+                    sgd_epoch(
+                        train, factors,
+                        learn_rate=learn_rate,
+                        regularization=opts.regularization,
+                        chunk_size=opts.sgd_chunk_size,
+                        rng=rng,
+                    )
+                    learn_rate *= opts.learn_rate_decay
+                else:  # ccd
+                    ccd_residual = ccd_epoch(
+                        train, factors,
+                        regularization=opts.regularization,
+                        residual=ccd_residual,
+                    )
 
-        epochs_run = epoch + 1
-        train_hist.append(rmse(train.coords, train.values, factors))
-        if val_values.size:
-            val = rmse(val_coords, val_values, factors)
-            val_hist.append(val)
-            if val < best_val - 1e-12:
-                best_val = val
-                best_epoch = epochs_run
-                best_factors = [f.copy() for f in factors]
-                stall = 0
-            else:
-                stall += 1
-                if stall >= opts.patience:
-                    converged = True
-                    break
+                epochs_run = epoch + 1
+                train_hist.append(rmse(train.coords, train.values, factors))
+            if val_values.size:
+                val = rmse(val_coords, val_values, factors)
+                val_hist.append(val)
+                if val < best_val - 1e-12:
+                    best_val = val
+                    best_epoch = epochs_run
+                    best_factors = [f.copy() for f in factors]
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= opts.patience:
+                        converged = True
+                        break
+        run_span.set_attrs(epochs=epochs_run, converged=converged)
 
     elapsed = time.perf_counter() - start
     final = best_factors if val_values.size else factors

@@ -30,6 +30,7 @@ from repro.linalg.fit import calc_fit
 from repro.linalg.inverse import solve_normal_equations
 from repro.linalg.norms import normalize_columns
 from repro.mttkrp.variants import MttkrpInfo, mttkrp_csf
+from repro.observe import spans as _obs
 from repro.runtime.accounting import CostCounters
 from repro.runtime.locks import make_mutex_pool
 from repro.runtime.tasking import make_tasking_layer
@@ -169,70 +170,86 @@ def cp_als(
     layer = make_tasking_layer(opts.env, counters)
     pool = make_mutex_pool(opts.mutex_kind, size=opts.pool_size, env=opts.env, counters=counters)
 
-    # --- Sort: pre-processing sort + CSF construction (paper's Sort row) ---
-    with timers.time("sort"):
-        csf_set = build_csf_set(
-            tensor, allocation=opts.allocation, sort_variant=opts.sort_variant
-        )
+    run_span = _obs.span(
+        "cp_als",
+        rank=rank,
+        dims=list(tensor.dims),
+        nnz=tensor.nnz,
+        variant=opts.variant,
+        allocation=opts.allocation,
+        ntasks=opts.env.num_tasks,
+        tasking_layer=opts.env.tasking_layer,
+    )
+    with run_span:
+        # --- Sort: pre-processing sort + CSF construction (paper's Sort row) ---
+        with timers.time("sort"):
+            csf_set = build_csf_set(
+                tensor, allocation=opts.allocation, sort_variant=opts.sort_variant
+            )
 
-    factors = init_factors(tensor.dims, rank, opts.seed)
-    lam = np.ones(rank, dtype=VALUE_DTYPE)
-    nmodes = tensor.nmodes
-    xnorm2 = tensor.norm() ** 2
+        factors = init_factors(tensor.dims, rank, opts.seed)
+        lam = np.ones(rank, dtype=VALUE_DTYPE)
+        nmodes = tensor.nmodes
+        xnorm2 = tensor.norm() ** 2
 
-    with timers.time("mat_ata"):
-        grams = [gram(f) for f in factors]
+        with timers.time("mat_ata"):
+            grams = [gram(f) for f in factors]
 
-    out_buffers = {m: np.zeros((tensor.dims[m], rank), dtype=VALUE_DTYPE) for m in range(nmodes)}
-    infos: list[MttkrpInfo] = []
-    fits: list[float] = []
-    converged = False
-    iterations = 0
+        out_buffers = {m: np.zeros((tensor.dims[m], rank), dtype=VALUE_DTYPE) for m in range(nmodes)}
+        infos: list[MttkrpInfo] = []
+        fits: list[float] = []
+        converged = False
+        iterations = 0
 
-    for it in range(opts.max_iterations):
-        last_mttkrp: np.ndarray | None = None
-        for mode in range(nmodes):
-            with timers.time("mat_ata"):
-                v = hadamard_gram(factors, mode, grams=grams)
-            with timers.time("mttkrp"):
-                m_out, info = mttkrp_csf(
-                    csf_set,
-                    factors,
-                    mode,
-                    variant=opts.variant,
-                    layer=layer,
-                    pool=pool,
-                    force_locks=opts.force_locks,
-                    out=out_buffers[mode],
-                )
-            infos.append(info)
-            with timers.time("inverse"):
-                new_factor = solve_normal_equations(m_out, v)
-            with timers.time("mat_norm"):
-                normalize_columns(new_factor, which="2" if it == 0 else "max", out_lambda=lam)
-            factors[mode] = new_factor
-            with timers.time("mat_ata"):
-                grams[mode] = gram(new_factor)
-            last_mttkrp = m_out
+        for it in range(opts.max_iterations):
+            last_mttkrp: np.ndarray | None = None
+            with _obs.span("cp_als.iteration", iteration=it + 1):
+                for mode in range(nmodes):
+                    with timers.time("mat_ata"):
+                        v = hadamard_gram(factors, mode, grams=grams)
+                    with timers.time("mttkrp"):
+                        m_out, info = mttkrp_csf(
+                            csf_set,
+                            factors,
+                            mode,
+                            variant=opts.variant,
+                            layer=layer,
+                            pool=pool,
+                            force_locks=opts.force_locks,
+                            out=out_buffers[mode],
+                        )
+                    infos.append(info)
+                    with timers.time("inverse"):
+                        new_factor = solve_normal_equations(m_out, v)
+                    with timers.time("mat_norm"):
+                        normalize_columns(new_factor, which="2" if it == 0 else "max", out_lambda=lam)
+                    factors[mode] = new_factor
+                    with timers.time("mat_ata"):
+                        grams[mode] = gram(new_factor)
+                    last_mttkrp = m_out
 
-        assert last_mttkrp is not None
-        with timers.time("cpd_fit"):
-            fit = calc_fit(xnorm2, lam, factors, last_mttkrp, grams=grams)
-        fits.append(fit)
-        iterations = it + 1
-        if callback is not None and callback(iterations, fit, factors):
-            break
-        if opts.tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < opts.tolerance:
-            converged = True
-            break
+                assert last_mttkrp is not None
+                with timers.time("cpd_fit"):
+                    fit = calc_fit(xnorm2, lam, factors, last_mttkrp, grams=grams)
+            fits.append(fit)
+            iterations = it + 1
+            if callback is not None and callback(iterations, fit, factors):
+                break
+            if opts.tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < opts.tolerance:
+                converged = True
+                break
 
-    kruskal = KruskalTensor(lam.copy(), [f.copy() for f in factors])
-    engine_stats: dict = {}
-    ctx = getattr(csf_set, "_mttkrp_context", None)
-    if ctx is not None:
-        engine_stats.update(ctx.stats())
-    if getattr(layer, "_pool", None) is not None:
-        engine_stats.update(layer.worker_pool.stats())
+        kruskal = KruskalTensor(lam.copy(), [f.copy() for f in factors])
+        engine_stats: dict = {}
+        ctx = getattr(csf_set, "_mttkrp_context", None)
+        if ctx is not None:
+            engine_stats.update(ctx.stats())
+        if getattr(layer, "_pool", None) is not None:
+            engine_stats.update(layer.worker_pool.stats())
+        run_span.set_attrs(iterations=iterations, converged=converged,
+                           fit=float(fits[-1]) if fits else 0.0)
+        for key, value in engine_stats.items():
+            _obs.gauge(f"engine.{key}", value)
     return CpalsResult(
         kruskal=kruskal,
         fits=fits,

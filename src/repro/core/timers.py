@@ -13,6 +13,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.observe import spans as _obs
+
 __all__ = ["ROUTINES", "ROUTINE_LABELS", "RoutineTimers"]
 
 #: Canonical routine keys, in the paper's column order.
@@ -52,13 +54,19 @@ class RoutineTimers:
 
     @contextmanager
     def time(self, routine: str):
-        """Context manager accumulating wall time under ``routine``."""
+        """Context manager accumulating wall time under ``routine``.
+
+        When tracing is active the timed region is also emitted as a span
+        named after the routine key, so the paper's breakdown appears
+        directly in the trace timeline.
+        """
         self._check(routine)
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add(routine, time.perf_counter() - start)
+        with _obs.span(routine):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.add(routine, time.perf_counter() - start)
 
     def add(self, routine: str, seconds: float) -> None:
         """Record ``seconds`` of (measured or simulated) time."""

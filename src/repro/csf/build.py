@@ -14,6 +14,7 @@ import numpy as np
 from repro._util import INDEX_DTYPE
 from repro.csf.permute import CSF_ALLOCATIONS, mode_order
 from repro.csf.tree import CsfTensor
+from repro.observe import spans as _obs
 from repro.tensor.coo import SparseTensor
 from repro.tensor.sort import sort_tensor
 
@@ -51,7 +52,16 @@ def build_csf(
     nmodes = tensor.nmodes
     if sorted(dim_perm) != list(range(nmodes)):
         raise ValueError(f"dim_perm {dim_perm} is not a permutation of 0..{nmodes - 1}")
+    with _obs.span(
+        "csf.build", root=int(dim_perm[0]), nnz=tensor.nnz, sort_variant=sort_variant
+    ):
+        return _build_csf_sorted(tensor, tuple(dim_perm), sort_variant)
 
+
+def _build_csf_sorted(
+    tensor: SparseTensor, dim_perm: tuple[int, ...], sort_variant: str
+) -> CsfTensor:
+    nmodes = tensor.nmodes
     # Sort nonzeros lexicographically in dim_perm order.  sort_tensor sorts
     # (mode, then remaining ascending); permuting modes first makes its key
     # order equal dim_perm, then we map columns back.
@@ -130,6 +140,14 @@ class CsfSet:
             object.__setattr__(self, "_mttkrp_context", ctx)
         return ctx
 
+    def clear_plan_cache(self) -> None:
+        """Drop the set's cached MTTKRP plans/workspaces (no-op when the
+        context was never created).  See
+        :meth:`repro.mttkrp.scatter.MttkrpContext.clear_plan_cache`."""
+        ctx = getattr(self, "_mttkrp_context", None)
+        if ctx is not None:
+            ctx.clear_plan_cache()
+
     def memory_bytes(self) -> int:
         """Total storage over all trees (the one/two/all trade-off number)."""
         return sum(t.memory_bytes() for t in self.trees)
@@ -182,12 +200,15 @@ def build_csf_set(
         roots = [smallest] if biggest == smallest else [smallest, biggest]
     else:  # all
         roots = list(range(nmodes))
-    trees = [
-        build_csf(
-            tensor,
-            mode_order(dims, ordering=ordering, root=r),
-            sort_variant=sort_variant,
-        )
-        for r in roots
-    ]
+    with _obs.span(
+        "csf.build_set", allocation=allocation, ntrees=len(roots), nnz=tensor.nnz
+    ):
+        trees = [
+            build_csf(
+                tensor,
+                mode_order(dims, ordering=ordering, root=r),
+                sort_variant=sort_variant,
+            )
+            for r in roots
+        ]
     return CsfSet(allocation=allocation, trees=trees)

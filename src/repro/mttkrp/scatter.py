@@ -50,6 +50,7 @@ import numpy as np
 from repro._util import VALUE_DTYPE
 from repro.csf.tree import CsfTensor
 from repro.mttkrp.partition import nnz_balanced_blocks
+from repro.observe import spans as _obs
 
 __all__ = [
     "sorted_scatter_add",
@@ -461,12 +462,17 @@ class MttkrpContext:
         cached = self._plans.get(key)
         if cached is not None:
             self.plan_hits += 1
+            _obs.count("mttkrp.plan_hits")
             return cached, True
         self.plan_misses += 1
-        bounds, travs = self._shared_traversals(tree, ntasks)
-        plan = ScatterPlan(
-            tree, level, ntasks, pool_size, bounds=bounds, traversals=travs
-        )
+        _obs.count("mttkrp.plan_misses")
+        with _obs.span(
+            "mttkrp.plan_build", level=level, ntasks=ntasks, pool_size=pool_size
+        ):
+            bounds, travs = self._shared_traversals(tree, ntasks)
+            plan = ScatterPlan(
+                tree, level, ntasks, pool_size, bounds=bounds, traversals=travs
+            )
         self._plans[key] = plan
         return plan, False
 
@@ -512,6 +518,35 @@ class MttkrpContext:
         return bufs
 
     # ------------------------------------------------------------------
+    def cache_entries(self) -> dict[str, int]:
+        """Entry counts per internal cache (size accounting for tests and
+        capacity planning; byte totals live in :meth:`stats`)."""
+        return {
+            "plans": len(self._plans),
+            "traversals": len(self._traversals),
+            "workspaces": len(self._workspaces),
+            "buffers": len(self._buffers),
+            "mutex_pools": len(self._mutex_pools),
+        }
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached plan, traversal, workspace, privatization
+        buffer and mutex pool.
+
+        Long-lived processes that decompose a stream of distinct tensors
+        through one context would otherwise retain ``id()``-keyed entries
+        for trees that no longer exist (and, because the keys embed object
+        ids, a recycled id could even alias a *new* tree onto a stale
+        plan).  Hit/miss counters are preserved — they describe the run,
+        not the cache contents.  The next :meth:`plan` call rebuilds from
+        scratch (a miss) and yields identical results.
+        """
+        self._traversals.clear()
+        self._plans.clear()
+        self._buffers.clear()
+        self._workspaces.clear()
+        self._mutex_pools.clear()
+
     def stats(self) -> dict[str, int]:
         """Cache accounting: plans held, hits, misses, bytes cached."""
         plan_bytes = sum(p.memory_bytes() for p in self._plans.values())

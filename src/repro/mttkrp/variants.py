@@ -47,6 +47,7 @@ from repro.csf.tree import CsfTensor
 from repro.mttkrp import csf_kernels
 from repro.mttkrp.locks_policy import needs_locks
 from repro.mttkrp.partition import nnz_balanced_blocks
+from repro.observe import spans as _obs
 from repro.runtime.env import ChapelEnv
 from repro.runtime.locks import DEFAULT_POOL_SIZE, MutexPool, make_mutex_pool
 from repro.runtime.reductions import array_reduce_buffers
@@ -458,68 +459,98 @@ def mttkrp_csf(
             the_pool = make_mutex_pool(mutex_kind, size=pool_size, env=env)
 
     plan_hit: bool | None = None
-    if variant == "vectorized":
-        plan = None
-        workspaces = None
-        buffers = None
-        ntasks = env.num_tasks
-        if amortize:
-            ctx = csf_set.mttkrp_context
-            level = 0 if algorithm == "root" else tree.level_of_mode(mode)
-            psize = the_pool.size if the_pool is not None else None
-            plan, plan_hit = ctx.plan(tree, level, ntasks, psize)
-            workspaces = ctx.workspaces(tree, ntasks)
-            if the_pool is None and algorithm != "root" and ntasks > 1:
-                buffers = ctx.buffers(tree, level, ntasks, out.shape)
-        if algorithm == "root":
-            csf_kernels.run_root_parallel(
-                tree, factors, out, layer, plan=plan, workspaces=workspaces
-            )
-        else:
-            def _ctx(tid):
-                if plan is None:
-                    return None, None
-                return plan.traversals[tid], workspaces[tid] if workspaces else None
 
-            presorted = False
-            if algorithm == "leaf":
-                if plan is not None and plan.leaf_expand_sorted is not None:
-                    # contribs come out already in scatter-sorted order; the
-                    # per-call O(nnz) sort gather disappears entirely.
-                    presorted = True
+    def _execute() -> None:
+        nonlocal plan_hit
+        if variant == "vectorized":
+            plan = None
+            workspaces = None
+            buffers = None
+            ntasks = env.num_tasks
+            if amortize:
+                ctx = csf_set.mttkrp_context
+                level = 0 if algorithm == "root" else tree.level_of_mode(mode)
+                psize = the_pool.size if the_pool is not None else None
+                plan, plan_hit = ctx.plan(tree, level, ntasks, psize)
+                workspaces = ctx.workspaces(tree, ntasks)
+                if the_pool is None and algorithm != "root" and ntasks > 1:
+                    buffers = ctx.buffers(tree, level, ntasks, out.shape)
+            if algorithm == "root":
+                csf_kernels.run_root_parallel(
+                    tree, factors, out, layer, plan=plan, workspaces=workspaces
+                )
+            else:
+                def _ctx(tid):
+                    if plan is None:
+                        return None, None
+                    return plan.traversals[tid], workspaces[tid] if workspaces else None
 
-                    def compute(lo, hi, tid):
-                        ws = workspaces[tid]
-                        return None, csf_kernels.leaf_range_sorted(
-                            tree, factors, plan, tid, ws
-                        )
+                presorted = False
+                if algorithm == "leaf":
+                    if plan is not None and plan.leaf_expand_sorted is not None:
+                        # contribs come out already in scatter-sorted order; the
+                        # per-call O(nnz) sort gather disappears entirely.
+                        presorted = True
+
+                        def compute(lo, hi, tid):
+                            ws = workspaces[tid]
+                            return None, csf_kernels.leaf_range_sorted(
+                                tree, factors, plan, tid, ws
+                            )
+                    else:
+                        def compute(lo, hi, tid):
+                            trav, ws = _ctx(tid)
+                            return csf_kernels.leaf_range_vectorized(
+                                tree, factors, lo, hi, trav=trav, ws=ws
+                            )
                 else:
+                    level = tree.level_of_mode(mode)
+
                     def compute(lo, hi, tid):
                         trav, ws = _ctx(tid)
-                        return csf_kernels.leaf_range_vectorized(
-                            tree, factors, lo, hi, trav=trav, ws=ws
+                        return csf_kernels.internal_range_vectorized(
+                            tree, factors, level, lo, hi, trav=trav, ws=ws
                         )
-            else:
-                level = tree.level_of_mode(mode)
-
-                def compute(lo, hi, tid):
-                    trav, ws = _ctx(tid)
-                    return csf_kernels.internal_range_vectorized(
-                        tree, factors, level, lo, hi, trav=trav, ws=ws
+                if the_pool is not None:
+                    csf_kernels.run_scatter_mutex(
+                        tree, factors, out, layer, the_pool, compute,
+                        plan=plan, workspaces=workspaces, presorted=presorted,
                     )
-            if the_pool is not None:
-                csf_kernels.run_scatter_mutex(
-                    tree, factors, out, layer, the_pool, compute,
-                    plan=plan, workspaces=workspaces, presorted=presorted,
-                )
-            else:
-                csf_kernels.run_scatter_privatized(
-                    tree, factors, out, layer, compute,
-                    plan=plan, buffers=buffers, workspaces=workspaces,
-                    presorted=presorted,
-                )
+                else:
+                    csf_kernels.run_scatter_privatized(
+                        tree, factors, out, layer, compute,
+                        plan=plan, buffers=buffers, workspaces=workspaces,
+                        presorted=presorted,
+                    )
+        else:
+            _run_interpreted(tree, factors, out, algorithm, variant, layer, the_pool)
+
+    rec = _obs._active
+    if rec is None:
+        _execute()
     else:
-        _run_interpreted(tree, factors, out, algorithm, variant, layer, the_pool)
+        # Fold the CostCounters delta over this call into the span so the
+        # trace carries the lock-pressure story (paper Fig 4) per mode.
+        lock_before = the_pool.counters.snapshot() if the_pool is not None else None
+        with rec.span(
+            f"mttkrp.mode{mode}",
+            {
+                "mode": mode,
+                "algorithm": algorithm,
+                "variant": variant,
+                "ntasks": env.num_tasks,
+                "used_locks": use_locks,
+            },
+        ) as sp:
+            _execute()
+            post: dict = {"plan_hit": plan_hit}
+            if lock_before is not None:
+                after = the_pool.counters.snapshot()
+                for key in ("lock_acquires", "lock_contended", "sync_sleeps"):
+                    post[key] = after[key] - lock_before[key]
+            else:
+                post.update(lock_acquires=0, lock_contended=0, sync_sleeps=0)
+            sp.set_attrs(**post)
 
     info = MttkrpInfo(
         mode=mode,

@@ -1,0 +1,46 @@
+"""``repro.observe`` — structured tracing & metrics for the simulated runtime.
+
+The observability layer every perf PR reports through (docs/OBSERVABILITY.md):
+
+* :class:`~repro.observe.spans.TraceRecorder` — collects nestable,
+  thread-aware spans plus counters/gauges;
+* :class:`~repro.observe.spans.tracing` — ``with tracing("out.json") as tr``
+  installs a recorder and writes Chrome-trace JSON on exit;
+* :func:`~repro.observe.spans.span` / :func:`~repro.observe.spans.count` /
+  :func:`~repro.observe.spans.gauge` — instrumentation points used by the
+  runtime and kernels; no-ops (near-zero cost) when tracing is disabled;
+* :mod:`~repro.observe.export` — Chrome-trace-format exporter and the
+  validation schema the golden-trace tests check against.
+
+The CLI exposes the same machinery as ``repro cpd --trace out.json`` (and
+the ``decompose``/``tucker``/``complete`` subcommands); load the output in
+``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from repro.observe.export import chrome_trace, validate_chrome_trace, write_chrome_trace
+from repro.observe.spans import (
+    NULL_SPAN,
+    SpanRecord,
+    TraceRecorder,
+    active_recorder,
+    count,
+    enabled,
+    gauge,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "SpanRecord",
+    "TraceRecorder",
+    "tracing",
+    "span",
+    "count",
+    "gauge",
+    "enabled",
+    "active_recorder",
+    "NULL_SPAN",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]

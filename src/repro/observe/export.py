@@ -1,0 +1,156 @@
+"""Exporters: Chrome-trace-format JSON and its validation schema.
+
+The Chrome trace event format (the JSON flavour consumed by
+``chrome://tracing`` and Perfetto's legacy-JSON importer) is an object with
+a ``traceEvents`` array.  We emit:
+
+* one complete event (``"ph": "X"``) per finished span — microsecond
+  ``ts``/``dur`` relative to the recorder's start, ``pid`` fixed at 1,
+  ``tid`` the recorder's compact thread id, span attributes under ``args``;
+* ``thread_name`` metadata events (``"ph": "M"``) so timelines are
+  labelled with real thread names;
+* one counter event (``"ph": "C"``) per recorder counter, stamped at the
+  trace end with the final total.
+
+``otherData.metrics`` carries the recorder's flat metrics dict — benchmark
+tooling reads it without walking the event array.
+
+:func:`validate_chrome_trace` is the checked-in schema the golden-trace
+tests (and CI's smoke artifact) verify round-tripped files against; it
+encodes the subset of the format Perfetto requires to parse the file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["chrome_trace", "write_chrome_trace", "validate_chrome_trace"]
+
+#: pid reported for every event (single-process runtime).
+TRACE_PID = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values (NumPy scalars, tuples, ...) to JSON types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy array
+        try:
+            return _jsonable(tolist())
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def chrome_trace(recorder) -> dict[str, Any]:
+    """Render a :class:`~repro.observe.spans.TraceRecorder` as a Chrome
+    trace JSON object (not yet serialized)."""
+    events: list[dict[str, Any]] = []
+    for tid, name in sorted(recorder.thread_names().items()):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": {"name": name},
+        })
+    end_us = 0.0
+    for rec in recorder.finished_spans():
+        ts = (rec.start - recorder.t0) * 1e6
+        dur = rec.duration * 1e6
+        end_us = max(end_us, ts + dur)
+        events.append({
+            "name": rec.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": ts,
+            "dur": dur,
+            "pid": TRACE_PID,
+            "tid": rec.tid,
+            "args": {str(k): _jsonable(v) for k, v in rec.attrs.items()},
+        })
+    for name, value in sorted(recorder.counters().items()):
+        events.append({
+            "name": name,
+            "cat": "repro",
+            "ph": "C",
+            "ts": end_us,
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"value": _jsonable(value)},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": {k: _jsonable(v) for k, v in recorder.metrics().items()}},
+    }
+
+
+def write_chrome_trace(recorder, path) -> None:
+    """Serialize :func:`chrome_trace` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(recorder), fh, indent=1)
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Validate a parsed trace object against the format subset we emit.
+
+    Returns a list of human-readable schema violations (empty = valid).
+    Checks the structural requirements Perfetto's JSON importer relies on:
+    a ``traceEvents`` array of objects, each with a string ``ph``; complete
+    events additionally need a string ``name``, numeric non-negative
+    ``ts``/``dur``, integer ``pid``/``tid`` and (when present) an object
+    ``args``.
+    """
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: missing/invalid 'ph'")
+            continue
+        if not isinstance(ev.get("pid"), int):
+            errors.append(f"{where}: 'pid' must be an integer")
+        if not isinstance(ev.get("tid"), int):
+            errors.append(f"{where}: 'tid' must be an integer")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+        if ph == "X":
+            if not isinstance(ev.get("name"), str):
+                errors.append(f"{where}: complete event needs a string 'name'")
+            for key in ("ts", "dur"):
+                v = ev.get(key)
+                if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                    errors.append(f"{where}: '{key}' must be a non-negative number")
+        elif ph == "M":
+            if not isinstance(ev.get("name"), str):
+                errors.append(f"{where}: metadata event needs a string 'name'")
+        elif ph == "C":
+            v = ev.get("ts")
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                errors.append(f"{where}: counter 'ts' must be a non-negative number")
+    try:
+        json.dumps(obj)
+    except (TypeError, ValueError) as exc:
+        errors.append(f"object is not JSON-serializable: {exc}")
+    return errors

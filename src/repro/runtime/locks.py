@@ -27,6 +27,7 @@ import threading
 import time
 from abc import ABC, abstractmethod
 
+from repro.observe import spans as _obs
 from repro.runtime.accounting import CostCounters
 from repro.runtime.env import ChapelEnv
 
@@ -110,6 +111,11 @@ class AtomicLockPool(MutexPool):
             self.counters.add(task_yields=1)
             time.sleep(0)  # chpl_task_yield analogue: cede the OS thread
         self.counters.add(lock_acquires=1, lock_contended=int(contended))
+        rec = _obs._active
+        if rec is not None:
+            rec.count("lock.acquires")
+            if contended:
+                rec.count("lock.contended")
 
     def release(self, lock_id: int) -> None:
         self._locks[lock_id].release()
@@ -145,10 +151,12 @@ class SyncLockPool(MutexPool):
     def acquire(self, lock_id: int) -> None:
         cond = self._conds[lock_id]
         contended = False
+        sleeps = 0
         if self.env.sync_vars_sleep:
             with cond:
                 while not self._full[lock_id]:
                     contended = True
+                    sleeps += 1
                     # Qthreads: deschedule the task until the writer signals.
                     self.counters.add(sync_sleeps=1)
                     cond.wait()
@@ -164,6 +172,13 @@ class SyncLockPool(MutexPool):
                 self.counters.add(task_yields=1)
                 time.sleep(0)
         self.counters.add(lock_acquires=1, lock_contended=int(contended))
+        rec = _obs._active
+        if rec is not None:
+            rec.count("lock.acquires")
+            if contended:
+                rec.count("lock.contended")
+            if sleeps:
+                rec.count("lock.sync_sleeps", sleeps)
 
     def release(self, lock_id: int) -> None:
         cond = self._conds[lock_id]

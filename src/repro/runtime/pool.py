@@ -30,6 +30,8 @@ import os
 import threading
 from typing import Callable
 
+from repro.observe import spans as _obs
+
 __all__ = ["WorkerPool", "run_ephemeral"]
 
 
@@ -186,6 +188,9 @@ class WorkerPool:
             or not self._dispatch_lock.acquire(blocking=False)
         ):
             self.fallback_dispatches += 1
+            rec = _obs._active
+            if rec is not None:
+                rec.count("pool.fallback_dispatches")
             run_ephemeral(ntasks, body)
             return
         try:
@@ -197,6 +202,10 @@ class WorkerPool:
                 worker.wait()
             self.dispatches += 1
             self.tasks_executed += ntasks
+            rec = _obs._active
+            if rec is not None:
+                rec.count("pool.dispatches")
+                rec.count("pool.tasks_executed", ntasks)
             for worker in workers:
                 if worker.error is not None:
                     raise worker.error

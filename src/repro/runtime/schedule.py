@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
+from repro.observe import spans as _obs
 from repro.runtime.tasking import TaskingLayer, static_block
 
 __all__ = ["SCHEDULES", "forall_scheduled"]
@@ -76,6 +77,7 @@ def forall_scheduled(
     if n <= 0:
         return
     ntasks = min(layer.env.num_tasks, n)
+    rec = _obs._active
 
     if schedule == "static":
         def task(tid: int) -> None:
@@ -83,16 +85,26 @@ def forall_scheduled(
             if lo < hi:
                 body(lo, hi, tid)
 
-        layer.coforall(ntasks, task)
+        with _obs.span("forall_scheduled", schedule=schedule, n=n, ntasks=ntasks):
+            layer.coforall(ntasks, task)
         return
 
     dealer = _ChunkDealer(n, ntasks, schedule, chunk)
 
     def task(tid: int) -> None:
-        while True:
-            claimed = dealer.claim()
-            if claimed is None:
-                return
-            body(claimed[0], claimed[1], tid)
+        claimed_chunks = 0
+        try:
+            while True:
+                claimed = dealer.claim()
+                if claimed is None:
+                    return
+                claimed_chunks += 1
+                body(claimed[0], claimed[1], tid)
+        finally:
+            if rec is not None and claimed_chunks:
+                rec.count("schedule.chunks_claimed", claimed_chunks)
 
-    layer.coforall(ntasks, task)
+    with _obs.span(
+        "forall_scheduled", schedule=schedule, n=n, ntasks=ntasks, chunk=chunk
+    ):
+        layer.coforall(ntasks, task)

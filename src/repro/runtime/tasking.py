@@ -32,6 +32,7 @@ import time
 from abc import ABC
 from typing import Callable
 
+from repro.observe import spans as _obs
 from repro.runtime.accounting import CostCounters
 from repro.runtime.env import ChapelEnv
 from repro.runtime.pool import WorkerPool, run_ephemeral
@@ -129,6 +130,26 @@ class TaskingLayer(ABC):
             body(0)
             return
         self.counters.add(tasks_spawned=ntasks)
+        rec = _obs._active
+        if rec is not None:
+            # Trace the dispatch and each task body.  Task spans run on the
+            # worker threads (their own timelines); the explicit parent_id
+            # keeps the cross-thread dispatch → task edge in the span tree.
+            with rec.span(
+                "coforall",
+                {"ntasks": ntasks, "layer": self.name, "pooled": self.persistent},
+            ) as dispatch_span:
+                inner = body
+
+                def body(tid: int, _inner=inner, _parent=dispatch_span) -> None:
+                    with rec.span("task", {"tid": tid}, parent_id=_parent.id):
+                        _inner(tid)
+
+                if self.persistent:
+                    self.worker_pool.run(ntasks, body)
+                else:
+                    run_ephemeral(ntasks, body)
+            return
         if self.persistent:
             self.worker_pool.run(ntasks, body)
         else:

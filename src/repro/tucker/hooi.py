@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro._util import VALUE_DTYPE, as_rng, check_positive
+from repro.observe import spans as _obs
 from repro.tensor.coo import SparseTensor
 from repro.tucker.ttmc import ttmc
 
@@ -169,38 +170,53 @@ def tucker_hooi(
     core = np.zeros(ranks, dtype=VALUE_DTYPE)
     start = time.perf_counter()
 
-    for it in range(max_iterations):
-        y_last: np.ndarray | None = None
-        for mode in range(nmodes):
-            y = ttmc(tensor, factors, mode)  # (I_mode, prod other ranks)
-            u, _s, _vt = np.linalg.svd(y, full_matrices=False)
-            factors[mode] = np.ascontiguousarray(u[:, : ranks[mode]], dtype=VALUE_DTYPE)
-            y_last = y
+    run_span = _obs.span(
+        "hooi",
+        ranks=list(ranks),
+        dims=list(tensor.dims),
+        nnz=tensor.nnz,
+        init=init,
+    )
+    with run_span:
+        for it in range(max_iterations):
+            y_last: np.ndarray | None = None
+            with _obs.span("hooi.sweep", iteration=it + 1):
+                for mode in range(nmodes):
+                    y = ttmc(tensor, factors, mode)  # (I_mode, prod other ranks)
+                    with _obs.span("hooi.svd", mode=mode):
+                        u, _s, _vt = np.linalg.svd(y, full_matrices=False)
+                    factors[mode] = np.ascontiguousarray(u[:, : ranks[mode]], dtype=VALUE_DTYPE)
+                    y_last = y
 
-        assert y_last is not None
-        # core from the last mode's TTMc: G_(N-1) = U_{N-1}^T Y
-        last = nmodes - 1
-        core_unf = factors[last].T @ y_last  # (R_last, prod others)
-        rest = [m for m in range(nmodes) if m != last]
-        # TTMc columns put the lowest remaining mode fastest, so a C-order
-        # unflatten enumerates the remaining modes highest-first; permute
-        # the axes back to natural mode order afterwards.
-        core_c = core_unf.reshape(ranks[last], *[ranks[m] for m in reversed(rest)])
-        axis_modes = [last, *reversed(rest)]  # current axis -> mode id
-        core = core_c.transpose([axis_modes.index(m) for m in range(nmodes)])
+            assert y_last is not None
+            # core from the last mode's TTMc: G_(N-1) = U_{N-1}^T Y
+            last = nmodes - 1
+            core_unf = factors[last].T @ y_last  # (R_last, prod others)
+            rest = [m for m in range(nmodes) if m != last]
+            # TTMc columns put the lowest remaining mode fastest, so a C-order
+            # unflatten enumerates the remaining modes highest-first; permute
+            # the axes back to natural mode order afterwards.
+            core_c = core_unf.reshape(ranks[last], *[ranks[m] for m in reversed(rest)])
+            axis_modes = [last, *reversed(rest)]  # current axis -> mode id
+            core = core_c.transpose([axis_modes.index(m) for m in range(nmodes)])
 
-        residual2 = xnorm2 - float((core**2).sum())
-        if residual2 < 8.0 * np.finfo(VALUE_DTYPE).eps * xnorm2:
-            # ‖X‖² and ‖G‖² agree to machine precision: the sqrt would
-            # amplify cancellation noise into O(1e-8) fit jitter, so
-            # report exact recovery instead
-            residual2 = 0.0
-        fit = 1.0 - float(np.sqrt(residual2) / np.sqrt(xnorm2))
-        fits.append(fit)
-        iterations = it + 1
-        if tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < tolerance:
-            converged = True
-            break
+            residual2 = xnorm2 - float((core**2).sum())
+            if residual2 < 8.0 * np.finfo(VALUE_DTYPE).eps * xnorm2:
+                # ‖X‖² and ‖G‖² agree to machine precision: the sqrt would
+                # amplify cancellation noise into O(1e-8) fit jitter, so
+                # report exact recovery instead
+                residual2 = 0.0
+            fit = 1.0 - float(np.sqrt(residual2) / np.sqrt(xnorm2))
+            fits.append(fit)
+            iterations = it + 1
+            if tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < tolerance:
+                converged = True
+                break
+        run_span.set_attrs(
+            iterations=iterations,
+            converged=converged,
+            fit=float(fits[-1]) if fits else 0.0,
+        )
 
     return TuckerResult(
         core=core,

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro._util import VALUE_DTYPE, check_axis, prod
 from repro.mttkrp.scatter import sorted_scatter_add
+from repro.observe import spans as _obs
 from repro.tensor.coo import SparseTensor
 
 __all__ = ["ttmc", "ttmc_dense_reference"]
@@ -68,18 +69,19 @@ def ttmc(
 
     coords = tensor.coords
     values = tensor.values
-    for start in range(0, tensor.nnz, chunk_size):
-        sl = slice(start, min(start + chunk_size, tensor.nnz))
-        c = coords[sl]
-        # Kronecker of factor rows, highest remaining mode first so the
-        # lowest remaining mode's index varies fastest in the flat column.
-        acc = values[sl, None].copy()  # (chunk, 1)
-        for m in reversed(rest):
-            rows = factors[m][c[:, m]]  # (chunk, R_m)
-            acc = (acc[:, :, None] * rows[:, None, :]).reshape(acc.shape[0], -1)
-        # chunk rows change every call, so use the one-shot segmented
-        # scatter rather than a cached plan
-        sorted_scatter_add(out, c[:, mode], acc)
+    with _obs.span("ttmc", mode=mode, nnz=tensor.nnz, ncols=ncols):
+        for start in range(0, tensor.nnz, chunk_size):
+            sl = slice(start, min(start + chunk_size, tensor.nnz))
+            c = coords[sl]
+            # Kronecker of factor rows, highest remaining mode first so the
+            # lowest remaining mode's index varies fastest in the flat column.
+            acc = values[sl, None].copy()  # (chunk, 1)
+            for m in reversed(rest):
+                rows = factors[m][c[:, m]]  # (chunk, R_m)
+                acc = (acc[:, :, None] * rows[:, None, :]).reshape(acc.shape[0], -1)
+            # chunk rows change every call, so use the one-shot segmented
+            # scatter rather than a cached plan
+            sorted_scatter_add(out, c[:, mode], acc)
     return out
 
 

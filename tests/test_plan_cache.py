@@ -1,0 +1,128 @@
+"""Plan-cache lifecycle tests for :class:`repro.mttkrp.scatter.MttkrpContext`.
+
+The cache keys embed ``id(tree)``, so a long-lived context must be
+clearable: stale entries for dead trees both leak memory and — if an id is
+recycled — could alias a *new* tree onto an old plan.  These tests pin the
+``clear_plan_cache`` / ``cache_entries`` contract and verify fresh
+decompositions never share or retain plans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cpals import cp_als
+from repro.core.options import CpalsOptions
+from repro.csf.build import build_csf_set
+from repro.mttkrp.variants import mttkrp_csf
+from repro.tensor.generate import random_tensor
+
+
+def _factors(tensor, rank=4, seed=3):
+    rng = np.random.default_rng(seed)
+    return [rng.random((d, rank)) for d in tensor.dims]
+
+
+def _sweep(csf_set, factors):
+    return [
+        mttkrp_csf(csf_set, factors, mode)[0].copy()
+        for mode in range(csf_set.nmodes)
+    ]
+
+
+def test_cache_entries_accounting():
+    tensor = random_tensor((10, 8, 6), 120, seed=0)
+    csf_set = build_csf_set(tensor)
+    ctx = csf_set.mttkrp_context
+    assert all(v == 0 for v in ctx.cache_entries().values())
+    factors = _factors(tensor)
+    _sweep(csf_set, factors)
+    entries = ctx.cache_entries()
+    assert entries["plans"] > 0
+    assert entries["traversals"] > 0
+    assert entries["workspaces"] > 0
+    assert ctx.plan_misses == entries["plans"]
+    assert ctx.plan_hits == 0
+    # a second sweep is all hits: no new entries
+    _sweep(csf_set, factors)
+    assert ctx.cache_entries() == entries
+    assert ctx.plan_hits == ctx.plan_misses
+
+
+def test_clear_plan_cache_empties_every_cache_and_keeps_counters():
+    tensor = random_tensor((9, 7, 8), 100, seed=1)
+    csf_set = build_csf_set(tensor)
+    factors = _factors(tensor)
+    before = _sweep(csf_set, factors)
+    ctx = csf_set.mttkrp_context
+    hits, misses = ctx.plan_hits, ctx.plan_misses
+    assert sum(ctx.cache_entries().values()) > 0
+
+    ctx.clear_plan_cache()
+    assert all(v == 0 for v in ctx.cache_entries().values())
+    assert (ctx.plan_hits, ctx.plan_misses) == (hits, misses)
+
+    # rebuild after clear is a miss with identical results
+    after = _sweep(csf_set, factors)
+    assert ctx.plan_misses > misses
+    for a, b in zip(before, after):
+        np.testing.assert_allclose(a, b)
+
+
+def test_csf_set_clear_is_safe_before_context_exists():
+    tensor = random_tensor((6, 5, 4), 40, seed=2)
+    csf_set = build_csf_set(tensor)
+    csf_set.clear_plan_cache()  # no context yet: must be a no-op
+    assert getattr(csf_set, "_mttkrp_context", None) is None
+    _sweep(csf_set, _factors(tensor))
+    assert sum(csf_set.mttkrp_context.cache_entries().values()) > 0
+    csf_set.clear_plan_cache()
+    assert all(v == 0 for v in csf_set.mttkrp_context.cache_entries().values())
+
+
+def test_fresh_decompositions_do_not_retain_stale_plans():
+    """Each CsfSet owns its context: new sets start with cold caches and
+    never see another set's plans."""
+    tensor_a = random_tensor((11, 9, 7), 140, seed=4)
+    tensor_b = random_tensor((11, 9, 7), 140, seed=5)
+
+    set_a = build_csf_set(tensor_a)
+    _sweep(set_a, _factors(tensor_a))
+    ctx_a = set_a.mttkrp_context
+    assert ctx_a.plan_misses > 0 and ctx_a.plan_hits == 0
+
+    set_b = build_csf_set(tensor_b)
+    ctx_b = set_b.mttkrp_context
+    assert ctx_b is not ctx_a
+    assert all(v == 0 for v in ctx_b.cache_entries().values())
+    _sweep(set_b, _factors(tensor_b))
+    # b built its own plans; a's cache is untouched
+    assert ctx_b.plan_misses > 0 and ctx_b.plan_hits == 0
+    assert ctx_a.cache_entries() == ctx_b.cache_entries()
+
+
+def test_cp_als_runs_have_independent_plan_caches():
+    tensor = random_tensor((12, 10, 8), 150, seed=6)
+    opts = CpalsOptions(max_iterations=2, tolerance=0.0, seed=0)
+    r1 = cp_als(tensor, 4, opts)
+    r2 = cp_als(tensor, 4, opts)
+    # identical runs: same hit/miss profile (no cross-run retention) and
+    # identical numerics
+    assert r1.engine_stats["plan_misses"] == r2.engine_stats["plan_misses"]
+    assert r1.engine_stats["plan_hits"] == r2.engine_stats["plan_hits"]
+    assert r1.engine_stats["plan_misses"] > 0
+    np.testing.assert_allclose(r1.kruskal.weights, r2.kruskal.weights)
+    for f1, f2 in zip(r1.kruskal.factors, r2.kruskal.factors):
+        np.testing.assert_allclose(f1, f2)
+
+
+def test_clear_mid_run_preserves_results():
+    tensor = random_tensor((8, 8, 8), 110, seed=7)
+    csf_set = build_csf_set(tensor)
+    factors = _factors(tensor)
+    baseline = _sweep(csf_set, factors)
+    for _ in range(3):
+        csf_set.clear_plan_cache()
+        again = _sweep(csf_set, factors)
+        for a, b in zip(baseline, again):
+            np.testing.assert_allclose(a, b)
