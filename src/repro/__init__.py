@@ -26,6 +26,17 @@ from repro.csf import CsfSet, CsfTensor, build_csf, build_csf_set
 from repro.distributed import DistributedResult, LocaleGrid, choose_grid, distributed_cp_als
 from repro.mttkrp import ACCESS_VARIANTS, dense_mttkrp_reference, mttkrp, mttkrp_csf
 from repro.observe import TraceRecorder, tracing
+from repro.resilience import (
+    Checkpoint,
+    CheckpointError,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    inject_faults,
+    load_checkpoint,
+    retrying,
+    save_checkpoint,
+)
 from repro.runtime import AtomicLockPool, ChapelEnv, SyncLockPool, SyncVar, make_tasking_layer
 from repro.tucker import TuckerResult, ttmc, tucker_hooi
 from repro.tensor import (
@@ -85,6 +96,16 @@ __all__ = [
     # observe
     "tracing",
     "TraceRecorder",
+    # resilience
+    "FaultPlan",
+    "InjectedFault",
+    "inject_faults",
+    "RetryPolicy",
+    "retrying",
+    "Checkpoint",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
     # runtime
     "ChapelEnv",
     "AtomicLockPool",

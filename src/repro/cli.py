@@ -145,6 +145,9 @@ def _cmd_cpd(args: argparse.Namespace) -> int:
         allocation=args.allocation,
         env=ChapelEnv(num_tasks=args.tasks),
         seed=args.seed,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
     )
     with _traced(args):
         result = cp_als(tensor, args.rank, opts)
@@ -170,6 +173,9 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         learn_rate=args.learn_rate,
         validation_fraction=args.validation,
         seed=args.seed,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
     )
     with _traced(args):
         result = complete(tensor, args.rank, opts)
@@ -202,6 +208,9 @@ def _cmd_tucker(args: argparse.Namespace) -> int:
             max_iterations=args.iterations,
             tolerance=args.tolerance,
             seed=args.seed,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume_from=args.resume,
         )
     _report_trace(args)
     print(f"fit = {result.fit:.6f} after {result.iterations} sweeps "
@@ -271,6 +280,17 @@ def _cmd_reorder(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
+def _add_checkpoint_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="snapshot the solver state to PATH (atomic .npz) "
+                        "every --checkpoint-every iterations")
+    p.add_argument("--checkpoint-every", metavar="N", type=int, default=1,
+                   help="checkpoint cadence in iterations (default: 1)")
+    p.add_argument("--resume", metavar="PATH",
+                   help="resume a killed run from a checkpoint written by "
+                        "--checkpoint (same tensor and options required)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Sparse tensor decomposition toolbox "
@@ -307,6 +327,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(lambda.mat + mode<N>.mat) instead of .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    _add_checkpoint_flags(p)
     p.set_defaults(fn=_cmd_cpd)
 
     p = sub.add_parser("complete", help="tensor completion (missing values)")
@@ -321,6 +342,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", help="write factors as .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    _add_checkpoint_flags(p)
     p.set_defaults(fn=_cmd_complete)
 
     p = sub.add_parser("tucker", help="Tucker decomposition (HOOI)")
@@ -333,6 +355,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", help="write core + factors as .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    _add_checkpoint_flags(p)
     p.set_defaults(fn=_cmd_tucker)
 
     p = sub.add_parser("compare", help="factor match score between two saved models")
@@ -360,9 +383,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for the ``repro`` tool; returns the process exit code."""
+    """Entry point for the ``repro`` tool; returns the process exit code.
+
+    A command failing mid-run (bad input, injected fault, solver error)
+    exits 1 with the error on stderr.  When ``--trace`` is active the
+    recorder's exit hook still flushes a valid (truncated) trace file, so
+    a crashed run can be inspected post-mortem.
+    """
     args = _build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,6 +8,7 @@ a patience window) or the epoch cap is hit.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -19,6 +20,7 @@ from repro.completion.ccd import ccd_epoch
 from repro.completion.losses import predict_entries, rmse
 from repro.completion.sgd import sgd_epoch
 from repro.observe import spans as _obs
+from repro.resilience.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from repro.tensor.coo import SparseTensor
 
 __all__ = ["ALGORITHMS", "CompletionOptions", "CompletionResult", "complete"]
@@ -51,6 +53,18 @@ class CompletionOptions:
         Stop after this many epochs without a new best validation RMSE.
     seed:
         Controls initialization, the validation split and SGD shuffling.
+    checkpoint_path:
+        When set, snapshot the training state (factors, best-so-far
+        model, histories, RNG state) to this path every
+        ``checkpoint_every`` epochs (atomic ``.npz``, see
+        :mod:`repro.resilience.checkpoint`).
+    checkpoint_every:
+        Snapshot cadence in epochs.
+    resume_from:
+        Path of a ``completion`` checkpoint to resume; requires the same
+        tensor, rank, algorithm and seed, and reproduces the
+        uninterrupted run (the RNG resumes mid-stream, so SGD shuffles
+        continue exactly where the killed run stopped).
     """
 
     algorithm: str = "als"
@@ -62,6 +76,9 @@ class CompletionOptions:
     validation_fraction: float = 0.1
     patience: int = 5
     seed: int | None = 0
+    checkpoint_path: str | os.PathLike | None = None
+    checkpoint_every: int = 1
+    resume_from: str | os.PathLike | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -82,6 +99,8 @@ class CompletionOptions:
             raise ValueError("learn_rate > 0 and 0 < learn_rate_decay <= 1 required")
         if self.sgd_chunk_size < 1:
             raise ValueError("sgd_chunk_size must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
 
 @dataclass
@@ -167,8 +186,68 @@ def complete(
     converged = False
     learn_rate = opts.learn_rate
     ccd_residual: np.ndarray | None = None
+    start_epoch = 0
 
-    epochs_run = 0
+    if opts.resume_from is not None:
+        ck = load_checkpoint(opts.resume_from, expect_kind="completion")
+        meta = ck.meta
+        if meta.get("algorithm") != opts.algorithm or meta.get("rank") != rank or tuple(
+            meta.get("dims", ())
+        ) != tensor.dims:
+            raise CheckpointError(
+                f"{opts.resume_from}: checkpoint ({meta.get('algorithm')}, rank "
+                f"{meta.get('rank')}, dims {meta.get('dims')}) does not match "
+                f"this run ({opts.algorithm}, rank {rank}, dims {list(tensor.dims)})"
+            )
+        factors = [np.asarray(f, dtype=VALUE_DTYPE) for f in ck.factors]
+        best_factors = [
+            np.asarray(ck.arrays[f"best_factor{m}"], dtype=VALUE_DTYPE)
+            for m in range(tensor.nmodes)
+        ]
+        train_hist = [float(v) for v in ck.arrays["train_rmse"]]
+        val_hist = [float(v) for v in ck.arrays["val_rmse"]]
+        if "ccd_residual" in ck.arrays:
+            ccd_residual = np.asarray(ck.arrays["ccd_residual"], dtype=VALUE_DTYPE)
+        best_val = float(meta["best_val"])
+        best_epoch = int(meta["best_epoch"])
+        stall = int(meta["stall"])
+        learn_rate = float(meta["learn_rate"])
+        start_epoch = ck.iteration
+        if ck.rng_state is not None:
+            # Resume the generator mid-stream so SGD shuffling (and any
+            # later draw) continues exactly where the killed run stopped.
+            rng.bit_generator.state = ck.rng_state
+
+    def checkpoint(completed: int) -> None:
+        if opts.checkpoint_path is None or completed % opts.checkpoint_every:
+            return
+        arrays = {
+            "train_rmse": np.asarray(train_hist, dtype=float),
+            "val_rmse": np.asarray(val_hist, dtype=float),
+        }
+        for m, f in enumerate(best_factors):
+            arrays[f"best_factor{m}"] = f
+        if ccd_residual is not None:
+            arrays["ccd_residual"] = ccd_residual
+        save_checkpoint(
+            opts.checkpoint_path,
+            kind="completion",
+            iteration=completed,
+            factors=factors,
+            arrays=arrays,
+            meta={
+                "algorithm": opts.algorithm,
+                "rank": rank,
+                "dims": list(tensor.dims),
+                "best_val": best_val,
+                "best_epoch": best_epoch,
+                "stall": stall,
+                "learn_rate": learn_rate,
+            },
+            rng=rng,
+        )
+
+    epochs_run = start_epoch
     run_span = _obs.span(
         "completion",
         algorithm=opts.algorithm,
@@ -177,7 +256,9 @@ def complete(
         dims=list(train.dims),
     )
     with run_span:
-        for epoch in range(opts.max_epochs):
+        if start_epoch:
+            run_span.set_attrs(resumed_from_iteration=start_epoch)
+        for epoch in range(start_epoch, opts.max_epochs):
             with _obs.span("completion.epoch", epoch=epoch + 1):
                 if opts.algorithm == "als":
                     als_step(train, factors, regularization=opts.regularization)
@@ -210,8 +291,10 @@ def complete(
                 else:
                     stall += 1
                     if stall >= opts.patience:
+                        checkpoint(epochs_run)
                         converged = True
                         break
+            checkpoint(epochs_run)
         run_span.set_attrs(epochs=epochs_run, converged=converged)
 
     elapsed = time.perf_counter() - start

@@ -31,6 +31,7 @@ from repro.linalg.inverse import solve_normal_equations
 from repro.linalg.norms import normalize_columns
 from repro.mttkrp.variants import MttkrpInfo, mttkrp_csf
 from repro.observe import spans as _obs
+from repro.resilience.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from repro.runtime.accounting import CostCounters
 from repro.runtime.locks import make_mutex_pool
 from repro.runtime.tasking import make_tasking_layer
@@ -187,9 +188,26 @@ def cp_als(
                 tensor, allocation=opts.allocation, sort_variant=opts.sort_variant
             )
 
-        factors = init_factors(tensor.dims, rank, opts.seed)
-        lam = np.ones(rank, dtype=VALUE_DTYPE)
         nmodes = tensor.nmodes
+        fits: list[float] = []
+        start_iteration = 0
+        if opts.resume_from is not None:
+            ck = load_checkpoint(opts.resume_from, expect_kind="cp_als")
+            if ck.meta.get("rank") != rank or tuple(ck.meta.get("dims", ())) != tensor.dims:
+                raise CheckpointError(
+                    f"{opts.resume_from}: checkpoint is for a rank-"
+                    f"{ck.meta.get('rank')} model of a "
+                    f"{'x'.join(str(d) for d in ck.meta.get('dims', ()))} tensor, "
+                    f"not rank-{rank} of {'x'.join(str(d) for d in tensor.dims)}"
+                )
+            factors = [np.asarray(f, dtype=VALUE_DTYPE) for f in ck.factors]
+            lam = np.asarray(ck.arrays["lambda"], dtype=VALUE_DTYPE)
+            fits = [float(f) for f in ck.arrays["fits"]]
+            start_iteration = ck.iteration
+            run_span.set_attrs(resumed_from_iteration=start_iteration)
+        else:
+            factors = init_factors(tensor.dims, rank, opts.seed)
+            lam = np.ones(rank, dtype=VALUE_DTYPE)
         xnorm2 = tensor.norm() ** 2
 
         with timers.time("mat_ata"):
@@ -197,11 +215,22 @@ def cp_als(
 
         out_buffers = {m: np.zeros((tensor.dims[m], rank), dtype=VALUE_DTYPE) for m in range(nmodes)}
         infos: list[MttkrpInfo] = []
-        fits: list[float] = []
         converged = False
-        iterations = 0
+        iterations = start_iteration
 
-        for it in range(opts.max_iterations):
+        def checkpoint(completed: int) -> None:
+            if opts.checkpoint_path is None or completed % opts.checkpoint_every:
+                return
+            save_checkpoint(
+                opts.checkpoint_path,
+                kind="cp_als",
+                iteration=completed,
+                factors=factors,
+                arrays={"lambda": lam, "fits": np.asarray(fits, dtype=float)},
+                meta={"rank": rank, "dims": list(tensor.dims), "nnz": tensor.nnz},
+            )
+
+        for it in range(start_iteration, opts.max_iterations):
             last_mttkrp: np.ndarray | None = None
             with _obs.span("cp_als.iteration", iteration=it + 1):
                 for mode in range(nmodes):
@@ -233,6 +262,7 @@ def cp_als(
                     fit = calc_fit(xnorm2, lam, factors, last_mttkrp, grams=grams)
             fits.append(fit)
             iterations = it + 1
+            checkpoint(iterations)
             if callback is not None and callback(iterations, fit, factors):
                 break
             if opts.tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < opts.tolerance:
@@ -246,6 +276,12 @@ def cp_als(
             engine_stats.update(ctx.stats())
         if getattr(layer, "_pool", None) is not None:
             engine_stats.update(layer.worker_pool.stats())
+        if layer.retries or layer.degraded_dispatches:
+            # the pool mirrors these, but a fully-degraded run never
+            # creates the pool — report the layer's accounting regardless
+            engine_stats["retries"] = layer.retries
+            engine_stats["backoff_seconds"] = layer.backoff_seconds
+            engine_stats["degraded_dispatches"] = layer.degraded_dispatches
         run_span.set_attrs(iterations=iterations, converged=converged,
                            fit=float(fits[-1]) if fits else 0.0)
         for key, value in engine_stats.items():

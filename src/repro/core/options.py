@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.csf.permute import CSF_ALLOCATIONS
@@ -45,6 +46,16 @@ class CpalsOptions:
         :func:`repro.mttkrp.locks_policy.needs_locks`).
     seed:
         Seed for the random factor initialization.
+    checkpoint_path:
+        When set, snapshot the ALS state to this path (atomic ``.npz``,
+        see :mod:`repro.resilience.checkpoint`) every
+        ``checkpoint_every`` completed iterations.
+    checkpoint_every:
+        Snapshot cadence in iterations (default: every iteration).
+    resume_from:
+        Path of a ``cp_als`` checkpoint to resume from; the run continues
+        at the saved iteration and reproduces an uninterrupted run
+        bit-for-bit (same tensor, rank, and options required).
     """
 
     max_iterations: int = DEFAULT_ITERATIONS
@@ -57,10 +68,15 @@ class CpalsOptions:
     pool_size: int = 1024
     force_locks: bool | None = None
     seed: int | None = 0
+    checkpoint_path: str | os.PathLike | None = None
+    checkpoint_every: int = 1
+    resume_from: str | os.PathLike | None = None
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         if self.tolerance < 0:
             raise ValueError("tolerance must be >= 0")
         if self.variant not in ACCESS_VARIANTS:

@@ -10,6 +10,16 @@ The medium-grained algorithm's per-mode-update traffic:
 :class:`CommStats` accumulates the messages and payload bytes those
 exchanges would put on a real interconnect, which is the quantity the
 medium-grained paper (and any grid-shape ablation) optimizes.
+
+Resilience: :func:`fold_exchange` / :func:`expand_exchange` are the
+fault-injectable front doors the distributed driver calls.  Each pokes
+its ``comm.fold`` / ``comm.expand`` site before metering; an injected
+failure is retried per the active
+:class:`~repro.resilience.retry.RetryPolicy` (resends metered as
+``retried_messages``, simulated backoff accumulated in
+``backoff_seconds``) and, once retries are exhausted, either degrades to
+a fallback transport (``degraded_exchanges``; the payload still arrives,
+as the in-process simulation always delivers) or propagates.
 """
 
 from __future__ import annotations
@@ -17,8 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro._util import VALUE_DTYPE
+from repro.observe import spans as _obs
+from repro.resilience import fault as _flt
+from repro.resilience import retry as _rty
 
-__all__ = ["CommStats"]
+__all__ = ["CommStats", "fold_exchange", "expand_exchange"]
 
 _BYTES_PER_VALUE = VALUE_DTYPE().itemsize  # 8
 
@@ -33,6 +46,15 @@ class CommStats:
     expand_messages: int = 0
     #: Per-mode breakdown: mode -> (fold_rows, expand_rows).
     per_mode: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: Resilience accounting (only nonzero under fault injection):
+    #: injected exchange failures, retried sends, messages re-put on the
+    #: wire by those retries, simulated backoff, degraded-transport
+    #: completions.
+    faults_injected: int = 0
+    retries: int = 0
+    retried_messages: int = 0
+    backoff_seconds: float = 0.0
+    degraded_exchanges: int = 0
 
     def record_fold(self, mode: int, rows: int, messages: int) -> None:
         self.fold_rows += rows
@@ -60,6 +82,61 @@ class CommStats:
         self.expand_rows += other.expand_rows
         self.fold_messages += other.fold_messages
         self.expand_messages += other.expand_messages
+        self.faults_injected += other.faults_injected
+        self.retries += other.retries
+        self.retried_messages += other.retried_messages
+        self.backoff_seconds += other.backoff_seconds
+        self.degraded_exchanges += other.degraded_exchanges
         for mode, (f, e) in other.per_mode.items():
             mf, me = self.per_mode.get(mode, (0, 0))
             self.per_mode[mode] = (mf + f, me + e)
+
+
+def _resilient_send(stats: CommStats, site: str, messages: int) -> None:
+    """Poke ``site`` with retry/degradation semantics, accounting into
+    ``stats``.  Returns normally when the (simulated) exchange went
+    through — possibly on the degraded transport."""
+    plan = _flt._active_plan
+    if plan is None:
+        return
+    policy = _rty.active_policy()
+    attempts = 0
+    while True:
+        try:
+            plan.poke(site)
+            return
+        except BaseException as exc:
+            if policy is None or not policy.handles(exc):
+                raise
+            stats.faults_injected += 1
+            if attempts < policy.max_retries:
+                backoff = policy.backoff(attempts)
+                attempts += 1
+                stats.retries += 1
+                stats.retried_messages += messages
+                stats.backoff_seconds += backoff
+                _obs.count("retry.attempts")
+                policy.pause(backoff)
+                continue
+            if policy.degrade:
+                # The layer-collective keeps failing; complete the exchange
+                # over the (simulated) fallback transport instead of
+                # killing the whole run.
+                stats.degraded_exchanges += 1
+                _obs.count("comm.degraded")
+                return
+            raise
+
+
+def fold_exchange(stats: CommStats, mode: int, rows: int, messages: int) -> None:
+    """One metered fold (reduce-scatter) exchange, fault-injectable at the
+    ``comm.fold`` site."""
+    _resilient_send(stats, "comm.fold", messages)
+    stats.record_fold(mode, rows, messages)
+
+
+def expand_exchange(stats: CommStats, mode: int, rows: int, messages: int) -> None:
+    """One metered expand (allgather) exchange, fault-injectable at the
+    ``comm.expand`` site."""
+    _resilient_send(stats, "comm.expand", messages)
+    stats.record_expand(mode, rows, messages)

@@ -31,7 +31,7 @@ from repro._util import VALUE_DTYPE, as_rng, check_rank
 from repro.core.cpals import init_factors
 from repro.core.kruskal import KruskalTensor
 from repro.csf.build import build_csf_set
-from repro.distributed.comm import CommStats
+from repro.distributed.comm import CommStats, expand_exchange, fold_exchange
 from repro.distributed.grid import LocaleGrid, choose_grid
 from repro.distributed.partition import MediumGrainPartition, partition_medium_grain
 from repro.linalg.ata import gram, hadamard_gram
@@ -142,7 +142,7 @@ def distributed_cp_als(
                 # within its layer each locale owns an even share of the block
                 own = (hi - lo) // max(layer_size, 1)
                 sent = max(int(rows.size) - own, 0)
-                comm.record_fold(mode, sent, max(layer_size - 1, 0))
+                fold_exchange(comm, mode, sent, max(layer_size - 1, 0))
 
             # 3. solve + normalize (same sequence as serial CP-ALS)
             new_factor = solve_normal_equations(m_global, v)
@@ -160,7 +160,7 @@ def distributed_cp_als(
                 layer_size = len(grid.layer_ranks(mode, layer))
                 own = (hi - lo) // max(layer_size, 1)
                 recv = max(int(rows.size) - own, 0)
-                comm.record_expand(mode, recv, max(layer_size - 1, 0))
+                expand_exchange(comm, mode, recv, max(layer_size - 1, 0))
 
             last_mttkrp = m_global
 

@@ -1,0 +1,45 @@
+"""repro.resilience — fault injection, retry policies, checkpoint/restart.
+
+Production tensor-decomposition runs outlive the machines they run on: a
+tasking dispatch can die, a communication exchange can drop, a process
+can be killed between iterations.  This package makes the reproduction
+survivable — and makes the survival *testable*:
+
+* :mod:`repro.resilience.fault` — :class:`FaultPlan`, a deterministic
+  (seeded or ``(site, occurrence)``-targeted) fault-injection harness
+  wired into the tasking, pool, schedule and comm layers;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`, retry-with-
+  simulated-backoff plus graceful degradation (serial fallback for a
+  failing tasking layer, degraded transport for failing exchanges);
+* :mod:`repro.resilience.checkpoint` — atomic write-temp-then-rename
+  ``.npz`` snapshots with a ``resume_from=`` path in the CP-ALS, HOOI
+  and completion drivers (``--checkpoint`` / ``--resume`` on the CLI).
+
+See docs/RESILIENCE.md for the site table, the checkpoint format, and
+the guarantees the golden tests pin down.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.fault import FaultPlan, InjectedFault, active_plan, inject_faults
+from repro.resilience.retry import RetryPolicy, active_policy, retrying
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "inject_faults",
+    "active_plan",
+    "RetryPolicy",
+    "retrying",
+    "active_policy",
+    "Checkpoint",
+    "CheckpointError",
+    "CHECKPOINT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -19,20 +19,41 @@ ephemeral threads, so the pool can never deadlock on itself.
 
 Shutdown semantics: workers are daemon threads, so a forgotten pool cannot
 hang interpreter exit; :meth:`WorkerPool.shutdown` parks and joins them
-deterministically, and a pool whose owning
+deterministically, a pool whose owning
 :class:`~repro.runtime.tasking.TaskingLayer` is garbage collected signals
-its workers to stop on finalization.
+its workers to stop on finalization, and every live pool is additionally
+registered in a module-level weak set that an ``atexit`` hook drains — so
+workers are told to stop even when neither the layer nor the pool is ever
+explicitly shut down or collected.
+
+Fault injection: when a :class:`~repro.resilience.fault.FaultPlan` is
+installed, :meth:`WorkerPool.run` pokes the ``pool.dispatch`` site before
+submitting any task (so a firing fault is always retry-safe) and each task
+body pokes ``pool.task`` on its worker (surfacing as a task failure).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
+import weakref
 from typing import Callable
 
 from repro.observe import spans as _obs
+from repro.resilience import fault as _flt
 
 __all__ = ["WorkerPool", "run_ephemeral"]
+
+#: Every constructed pool, weakly held; the atexit hook signals any still
+#: alive at interpreter exit to stop (without joining — they are daemons).
+_live_pools: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _shutdown_live_pools() -> None:  # pragma: no cover - exercised via direct call
+    for pool in list(_live_pools):
+        pool.shutdown(join=False)
 
 
 def run_ephemeral(ntasks: int, body: Callable[[int], None]) -> None:
@@ -145,6 +166,13 @@ class WorkerPool:
         self.dispatches = 0
         self.fallback_dispatches = 0
         self.tasks_executed = 0
+        #: Resilience accounting, bumped by the owning tasking layer:
+        #: retried pooled dispatches, simulated backoff spent on them, and
+        #: dispatches that degraded to serial execution.
+        self.retries = 0
+        self.backoff_seconds = 0.0
+        self.degraded_dispatches = 0
+        _live_pools.add(self)
 
     # ------------------------------------------------------------------
     @property
@@ -194,12 +222,36 @@ class WorkerPool:
             run_ephemeral(ntasks, body)
             return
         try:
+            plan = _flt._active_plan
+            if plan is not None:
+                # Dispatch-site fault: fires before any task is submitted,
+                # so a retry re-runs nothing.  Task-site faults fire on the
+                # workers and surface through the normal error path.
+                plan.poke("pool.dispatch")
+                inner = body
+
+                def body(tid: int, _inner=inner, _plan=plan) -> None:
+                    _plan.poke("pool.task")
+                    _inner(tid)
+
             self._ensure(ntasks)
             workers = self._workers[:ntasks]
-            for tid, worker in enumerate(workers):
-                worker.submit(body, tid)
-            for worker in workers:
-                worker.wait()
+            submitted: list[_Worker] = []
+            try:
+                for tid, worker in enumerate(workers):
+                    worker.submit(body, tid)
+                    submitted.append(worker)
+                for worker in workers:
+                    worker.wait()
+            except BaseException:
+                # A failure between submit and wait (injected fault,
+                # KeyboardInterrupt, ...) must not hand the dispatch slot
+                # to the next caller while workers still run the old body —
+                # that would overwrite their mailboxes and park them with a
+                # cleared done event.  Drain everything submitted first.
+                for worker in submitted:
+                    worker.wait()
+                raise
             self.dispatches += 1
             self.tasks_executed += ntasks
             rec = _obs._active
@@ -221,6 +273,9 @@ class WorkerPool:
             "dispatches": self.dispatches,
             "fallback_dispatches": self.fallback_dispatches,
             "tasks_executed": self.tasks_executed,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "degraded_dispatches": self.degraded_dispatches,
         }
 
     def shutdown(self, join: bool = True) -> None:

@@ -18,6 +18,8 @@ import threading
 from typing import Callable
 
 from repro.observe import spans as _obs
+from repro.resilience import fault as _flt
+from repro.resilience import retry as _rty
 from repro.runtime.tasking import TaskingLayer, static_block
 
 __all__ = ["SCHEDULES", "forall_scheduled"]
@@ -99,6 +101,33 @@ def forall_scheduled(
                 if claimed is None:
                     return
                 claimed_chunks += 1
+                # Fault site fires between claim and body, and is retried
+                # *here* (per chunk) rather than at the dispatch level: a
+                # claimed chunk is gone from the dealer, so dropping it to
+                # an outer retry would violate exactly-once processing.
+                plan = _flt._active_plan
+                if plan is not None:
+                    attempts = 0
+                    while True:
+                        try:
+                            plan.poke("schedule.chunk")
+                            break
+                        except BaseException as exc:
+                            policy = _rty.active_policy()
+                            if policy is None or not policy.handles(exc):
+                                raise
+                            if attempts >= policy.max_retries:
+                                # The claimed chunk is gone from the dealer;
+                                # an outer dispatch-level retry would replay
+                                # an empty dealer and silently drop these
+                                # indices, so mark the fault non-retryable.
+                                exc.retry_safe = False
+                                raise
+                            backoff = policy.backoff(attempts)
+                            attempts += 1
+                            if rec is not None:
+                                rec.count("retry.attempts")
+                            policy.pause(backoff)
                 body(claimed[0], claimed[1], tid)
         finally:
             if rec is not None and claimed_chunks:

@@ -33,6 +33,8 @@ from abc import ABC
 from typing import Callable
 
 from repro.observe import spans as _obs
+from repro.resilience import fault as _flt
+from repro.resilience import retry as _rty
 from repro.runtime.accounting import CostCounters
 from repro.runtime.env import ChapelEnv
 from repro.runtime.pool import WorkerPool, run_ephemeral
@@ -85,6 +87,12 @@ class TaskingLayer(ABC):
         self.counters = counters if counters is not None else CostCounters()
         self.persistent = persistent
         self._pool: WorkerPool | None = None
+        #: Resilience accounting for this layer (mirrored into the pool's
+        #: stats when the dispatch was pooled): retried dispatches,
+        #: simulated backoff seconds, and dispatches degraded to serial.
+        self.retries = 0
+        self.backoff_seconds = 0.0
+        self.degraded_dispatches = 0
 
     # ------------------------------------------------------------------
     @property
@@ -115,6 +123,72 @@ class TaskingLayer(ABC):
             pass
 
     # ------------------------------------------------------------------
+    def _run_tasks(self, ntasks: int, body: Callable[[int], None]) -> None:
+        """One dispatch attempt on the pooled or ephemeral substrate."""
+        if self.persistent:
+            self.worker_pool.run(ntasks, body)
+        else:
+            run_ephemeral(ntasks, body)
+
+    def _dispatch(self, ntasks: int, body: Callable[[int], None], span) -> None:
+        """Dispatch with fault injection, retry and serial degradation.
+
+        When no :class:`~repro.resilience.fault.FaultPlan` is installed
+        this is exactly one :meth:`_run_tasks` call.  With a plan active,
+        each attempt pokes the ``tasking.coforall`` site and a raised
+        :class:`~repro.resilience.fault.InjectedFault` (from the dispatch
+        sites or a task body) is handled per the active
+        :class:`~repro.resilience.retry.RetryPolicy`: retried with
+        accounted backoff, then — if the layer keeps failing — degraded
+        to running the tasks serially inline.  Real task errors are never
+        retried.
+        """
+        plan = _flt._active_plan
+        if plan is None:
+            self._run_tasks(ntasks, body)
+            return
+        policy = _rty.active_policy()
+        attempts = 0
+        while True:
+            try:
+                plan.poke("tasking.coforall")
+                self._run_tasks(ntasks, body)
+                return
+            except BaseException as exc:
+                if (
+                    policy is None
+                    or not policy.handles(exc)
+                    or not getattr(exc, "retry_safe", True)
+                ):
+                    raise
+                if attempts < policy.max_retries:
+                    backoff = policy.backoff(attempts)
+                    attempts += 1
+                    self.retries += 1
+                    self.backoff_seconds += backoff
+                    if self.persistent and self._pool is not None:
+                        self._pool.retries += 1
+                        self._pool.backoff_seconds += backoff
+                    _obs.count("retry.attempts")
+                    if span is not None:
+                        span.set_attrs(retries=attempts)
+                    policy.pause(backoff)
+                    continue
+                if not policy.degrade:
+                    raise
+                # Graceful degradation: the tasking layer is deemed broken;
+                # run the loop serially on the calling thread (no pool, no
+                # dispatch-site pokes — the body's own faults still apply).
+                self.degraded_dispatches += 1
+                if self.persistent and self._pool is not None:
+                    self._pool.degraded_dispatches += 1
+                _obs.count("tasking.degraded")
+                if span is not None:
+                    span.set_attrs(degraded=True, retries=attempts)
+                for tid in range(ntasks):
+                    body(tid)
+                return
+
     def coforall(self, ntasks: int, body: Callable[[int], None]) -> None:
         """Run ``body(tid)`` for ``tid in 0..ntasks-1`` concurrently.
 
@@ -123,6 +197,8 @@ class TaskingLayer(ABC):
         the persistent worker pool (or fresh threads when the layer was
         built with ``persistent=False``).  Exceptions raised by any task
         propagate to the caller after all tasks finish (first one wins).
+        Under an installed fault plan, injected dispatch failures are
+        retried/degraded per the active retry policy (see :meth:`_dispatch`).
         """
         if ntasks < 1:
             raise ValueError("ntasks must be >= 1")
@@ -145,15 +221,9 @@ class TaskingLayer(ABC):
                     with rec.span("task", {"tid": tid}, parent_id=_parent.id):
                         _inner(tid)
 
-                if self.persistent:
-                    self.worker_pool.run(ntasks, body)
-                else:
-                    run_ephemeral(ntasks, body)
+                self._dispatch(ntasks, body, dispatch_span)
             return
-        if self.persistent:
-            self.worker_pool.run(ntasks, body)
-        else:
-            run_ephemeral(ntasks, body)
+        self._dispatch(ntasks, body, None)
 
     def forall(self, n: int, body: Callable[[int, int, int], None]) -> None:
         """Data-parallel loop: block ``0..n-1`` over ``env.num_tasks`` tasks.

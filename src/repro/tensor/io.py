@@ -57,11 +57,14 @@ def load_tns(
     Raises
     ------
     ValueError
-        On ragged rows (inconsistent mode counts between lines) or
-        non-numeric fields.
+        On ragged rows (inconsistent mode counts between lines),
+        non-numeric fields, or non-finite values (NaN/inf).  Messages
+        carry the *file* line number (counting comments and blanks), not
+        the nonzero's ordinal, so the offending line can be found in an
+        editor.
     """
     path = Path(path)
-    rows: list[list[str]] = []
+    rows: list[tuple[int, list[str]]] = []
     with _open_text(path, "r") as fh:
         for lineno, line in enumerate(fh, start=1):
             stripped = line.strip()
@@ -70,23 +73,28 @@ def load_tns(
             fields = stripped.split()
             if len(fields) < 2:
                 raise ValueError(f"{path}:{lineno}: need at least one index and a value")
-            rows.append(fields)
+            rows.append((lineno, fields))
     if not rows:
         raise ValueError(f"{path}: no nonzeros found")
-    width = len(rows[0])
+    width = len(rows[0][1])
     nmodes = width - 1
     coords = np.empty((len(rows), nmodes), dtype=INDEX_DTYPE)
     values = np.empty(len(rows), dtype=VALUE_DTYPE)
-    for i, fields in enumerate(rows):
+    for i, (lineno, fields) in enumerate(rows):
         if len(fields) != width:
             raise ValueError(
-                f"{path}: ragged row {i + 1} has {len(fields)} fields, expected {width}"
+                f"{path}:{lineno}: ragged row has {len(fields)} fields, expected {width}"
             )
         try:
             coords[i] = [int(f) for f in fields[:-1]]
             values[i] = float(fields[-1])
         except ValueError as exc:
-            raise ValueError(f"{path}: bad numeric field in row {i + 1}: {exc}") from exc
+            raise ValueError(f"{path}:{lineno}: bad numeric field: {exc}") from exc
+        if not np.isfinite(values[i]):
+            raise ValueError(
+                f"{path}:{lineno}: non-finite value {fields[-1]!r} "
+                "(NaN/inf nonzeros are not representable)"
+            )
     if one_indexed:
         coords -= 1
     if (coords < 0).any():

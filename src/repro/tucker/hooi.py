@@ -18,6 +18,7 @@ practice — a direct HOSVD of the raw unfoldings would densify.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -26,6 +27,7 @@ import numpy as np
 
 from repro._util import VALUE_DTYPE, as_rng, check_positive
 from repro.observe import spans as _obs
+from repro.resilience.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from repro.tensor.coo import SparseTensor
 from repro.tucker.ttmc import ttmc
 
@@ -122,6 +124,9 @@ def tucker_hooi(
     tolerance: float = 1e-5,
     init: str = "hosvd",
     seed: int | np.random.Generator | None = 0,
+    checkpoint_path: str | os.PathLike | None = None,
+    checkpoint_every: int = 1,
+    resume_from: str | os.PathLike | None = None,
 ) -> TuckerResult:
     """Fit a Tucker model with core ranks ``ranks`` by HOOI.
 
@@ -136,6 +141,11 @@ def tucker_hooi(
         singular vectors of its *sparse* unfolding (truncated HOSVD via
         ``scipy.sparse.linalg.svds``); ``"random"`` uses random orthonormal
         bases.  HOSVD typically saves several sweeps.
+    checkpoint_path / checkpoint_every / resume_from:
+        Snapshot factors/core/fit history atomically every
+        ``checkpoint_every`` sweeps and/or resume a killed run (see
+        :mod:`repro.resilience.checkpoint`); a resumed run reproduces an
+        uninterrupted one.
 
     Returns
     -------
@@ -153,22 +163,52 @@ def tucker_hooi(
 
     if init not in ("hosvd", "random"):
         raise ValueError(f"unknown init {init!r}; use 'hosvd' or 'random'")
-    rng = as_rng(seed)
-    if init == "hosvd":
-        factors = [
-            _hosvd_basis(tensor, m, r, rng) for m, r in enumerate(ranks)
-        ]
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    fits: list[float] = []
+    start_iteration = 0
+    core = np.zeros(ranks, dtype=VALUE_DTYPE)
+    if resume_from is not None:
+        ck = load_checkpoint(resume_from, expect_kind="hooi")
+        if tuple(ck.meta.get("ranks", ())) != ranks or tuple(
+            ck.meta.get("dims", ())
+        ) != tensor.dims:
+            raise CheckpointError(
+                f"{resume_from}: checkpoint ranks/dims "
+                f"{ck.meta.get('ranks')}/{ck.meta.get('dims')} do not match "
+                f"this run ({list(ranks)}/{list(tensor.dims)})"
+            )
+        factors = [np.asarray(f, dtype=VALUE_DTYPE) for f in ck.factors]
+        core = np.asarray(ck.arrays["core"], dtype=VALUE_DTYPE)
+        fits = [float(f) for f in ck.arrays["fits"]]
+        start_iteration = ck.iteration
     else:
-        factors = [
-            _random_orthonormal(rng, d, r) for d, r in zip(tensor.dims, ranks)
-        ]
+        rng = as_rng(seed)
+        if init == "hosvd":
+            factors = [
+                _hosvd_basis(tensor, m, r, rng) for m, r in enumerate(ranks)
+            ]
+        else:
+            factors = [
+                _random_orthonormal(rng, d, r) for d, r in zip(tensor.dims, ranks)
+            ]
     xnorm2 = tensor.norm() ** 2
 
-    fits: list[float] = []
     converged = False
-    iterations = 0
-    core = np.zeros(ranks, dtype=VALUE_DTYPE)
+    iterations = start_iteration
     start = time.perf_counter()
+
+    def checkpoint(completed: int) -> None:
+        if checkpoint_path is None or completed % checkpoint_every:
+            return
+        save_checkpoint(
+            checkpoint_path,
+            kind="hooi",
+            iteration=completed,
+            factors=factors,
+            arrays={"core": core, "fits": np.asarray(fits, dtype=float)},
+            meta={"ranks": list(ranks), "dims": list(tensor.dims), "init": init},
+        )
 
     run_span = _obs.span(
         "hooi",
@@ -178,7 +218,9 @@ def tucker_hooi(
         init=init,
     )
     with run_span:
-        for it in range(max_iterations):
+        if start_iteration:
+            run_span.set_attrs(resumed_from_iteration=start_iteration)
+        for it in range(start_iteration, max_iterations):
             y_last: np.ndarray | None = None
             with _obs.span("hooi.sweep", iteration=it + 1):
                 for mode in range(nmodes):
@@ -209,6 +251,7 @@ def tucker_hooi(
             fit = 1.0 - float(np.sqrt(residual2) / np.sqrt(xnorm2))
             fits.append(fit)
             iterations = it + 1
+            checkpoint(iterations)
             if tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < tolerance:
                 converged = True
                 break

@@ -205,6 +205,35 @@ class TestDriver:
         assert result.epochs < 200 or result.converged is False
         assert len(result.val_rmse) == result.epochs
 
+    def test_early_stopping_returns_best_validation_factors(self, planted_sparse):
+        """The returned factors must be the *best-validation* snapshot, not
+        the last epoch's (which is ``patience`` epochs past the best)."""
+        tensor, _ = planted_sparse
+        # SGD with an aggressive learn rate overshoots after it finds a
+        # good model, so the final epoch is measurably worse than the best.
+        opts = CompletionOptions(algorithm="sgd", max_epochs=60, patience=4,
+                                 learn_rate=0.05, learn_rate_decay=1.0,
+                                 regularization=1e-3, seed=1)
+        result = complete(tensor, 3, opts)
+        best = min(result.val_rmse)
+        assert result.val_rmse[-1] > best + 1e-12, (
+            "validation never regressed — the scenario does not exercise "
+            "the best-snapshot path; tune the learn rate")
+        assert result.best_epoch == int(np.argmin(result.val_rmse)) + 1
+
+        # reconstruct the driver's validation split (same seed, same draws)
+        rng = np.random.default_rng(opts.seed)
+        n_val = max(1, int(tensor.nnz * opts.validation_fraction))
+        val_idx = rng.choice(tensor.nnz, size=n_val, replace=False)
+        mask = np.zeros(tensor.nnz, dtype=bool)
+        mask[val_idx] = True
+        from repro.completion.losses import rmse as rmse_fn
+
+        returned = rmse_fn(tensor.coords[mask], tensor.values[mask], result.factors)
+        assert returned == pytest.approx(best), (
+            "returned factors do not score the best validation RMSE — the "
+            "driver returned the wrong snapshot")
+
     def test_generalizes_to_heldout(self, planted_sparse):
         """The best-validation model must beat predicting the mean."""
         tensor, factors = planted_sparse

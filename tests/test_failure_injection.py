@@ -1,13 +1,22 @@
 """Failure-injection tests: errors inside parallel regions must surface
-cleanly and leave the runtime reusable."""
+cleanly and leave the runtime reusable.
+
+Covers both organic failures (task bodies raising) and simulated
+infrastructure failures driven through every instrumented
+:class:`~repro.resilience.fault.FaultPlan` site: ``tasking.coforall``,
+``pool.dispatch``, ``pool.task``, ``schedule.chunk``, ``comm.fold`` and
+``comm.expand``."""
 
 import threading
 
 import numpy as np
 import pytest
 
+from repro.distributed.comm import CommStats, expand_exchange, fold_exchange
+from repro.resilience import FaultPlan, InjectedFault, RetryPolicy, inject_faults, retrying
 from repro.runtime.env import ChapelEnv
 from repro.runtime.locks import make_mutex_pool
+from repro.runtime.pool import WorkerPool, _live_pools, _shutdown_live_pools
 from repro.runtime.schedule import forall_scheduled
 from repro.runtime.tasking import make_tasking_layer
 
@@ -116,3 +125,196 @@ class TestLockFailures:
                                pool=pool, force_locks=True)
         assert info.used_locks
         assert np.isfinite(out).all()
+
+
+class TestInjectedSites:
+    """Drive a FaultPlan through every instrumented site and assert the
+    runtime stays reusable afterwards."""
+
+    def _reusable(self, layer):
+        ran = []
+        layer.coforall(3, lambda tid: ran.append(tid))
+        assert len(ran) == 3
+
+    def test_coforall_site(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        plan = FaultPlan(targets=[("tasking.coforall", 1)])
+        with inject_faults(plan), pytest.raises(InjectedFault) as exc_info:
+            layer.coforall(3, lambda tid: None)
+        assert exc_info.value.site == "tasking.coforall"
+        self._reusable(layer)
+        layer.shutdown()
+
+    def test_pool_dispatch_site(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        layer.coforall(3, lambda tid: None)  # warm the pool
+        plan = FaultPlan(targets=[("pool.dispatch", 1)])
+        with inject_faults(plan), pytest.raises(InjectedFault) as exc_info:
+            layer.coforall(3, lambda tid: None)
+        assert exc_info.value.site == "pool.dispatch"
+        assert exc_info.value.retry_safe  # fires before any submit
+        self._reusable(layer)
+        layer.shutdown()
+
+    def test_pool_task_site_surfaces_as_task_error(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=4))
+        layer.coforall(4, lambda tid: None)
+        plan = FaultPlan(targets=[("pool.task", 2)])
+        ran = []
+        with inject_faults(plan), pytest.raises(InjectedFault) as exc_info:
+            layer.coforall(4, lambda tid: ran.append(tid))
+        assert exc_info.value.site == "pool.task"
+        assert len(ran) == 3  # siblings completed before the raise
+        self._reusable(layer)
+        layer.shutdown()
+
+    @pytest.mark.parametrize("schedule", ["dynamic", "guided"])
+    def test_schedule_chunk_site(self, schedule):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        plan = FaultPlan(targets=[("schedule.chunk", 2)])
+        with inject_faults(plan), pytest.raises(InjectedFault) as exc_info:
+            forall_scheduled(layer, 100, lambda lo, hi, tid: None,
+                             schedule=schedule, chunk=8)
+        assert exc_info.value.site == "schedule.chunk"
+        self._reusable(layer)
+        layer.shutdown()
+
+    def test_schedule_chunk_retry_preserves_exactly_once(self):
+        """A retried chunk fault must not lose or double-count indices."""
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        plan = FaultPlan(targets=[("schedule.chunk", 3), ("schedule.chunk", 7)])
+        seen = []
+        lock = threading.Lock()
+
+        def body(lo, hi, tid):
+            with lock:
+                seen.extend(range(lo, hi))
+
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=2)):
+            forall_scheduled(layer, 120, body, schedule="dynamic", chunk=8)
+        assert sorted(seen) == list(range(120))
+        assert plan.faults_injected == 2
+        layer.shutdown()
+
+    def test_schedule_chunk_exhaustion_is_not_dispatch_retried(self):
+        """Exhausted chunk retries must not be replayed at dispatch level —
+        the claimed chunk is gone from the dealer, so a replay would
+        silently drop indices.  The fault is flagged retry-unsafe and the
+        whole loop fails instead."""
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        plan = FaultPlan(probability=1.0, sites="schedule.chunk")
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=1, degrade=True)):
+            with pytest.raises(InjectedFault) as exc_info:
+                forall_scheduled(layer, 60, lambda lo, hi, tid: None,
+                                 schedule="dynamic", chunk=8)
+        assert not exc_info.value.retry_safe
+        layer.shutdown()
+
+    def test_comm_sites(self):
+        stats = CommStats()
+        plan = FaultPlan(targets=[("comm.fold", 1), ("comm.expand", 1)])
+        with inject_faults(plan):
+            with pytest.raises(InjectedFault):
+                fold_exchange(stats, 0, rows=1, messages=1)
+            with pytest.raises(InjectedFault):
+                expand_exchange(stats, 0, rows=1, messages=1)
+        assert plan.injected == [("comm.fold", 1), ("comm.expand", 1)]
+        # injection off: the same exchanges meter normally
+        fold_exchange(stats, 0, rows=2, messages=1)
+        expand_exchange(stats, 0, rows=2, messages=1)
+        assert stats.fold_rows == 2 and stats.expand_rows == 2
+
+    def test_all_sites_arrive_during_cp_als(self):
+        """A permissive plan observes arrivals at every tasking/pool site
+        during a parallel CP-ALS run (coverage check for the site table)."""
+        from repro.core.cpals import cp_als
+        from repro.core.options import CpalsOptions
+        from repro.tensor.generate import random_tensor
+
+        x = random_tensor((10, 9, 8), 200, seed=1)
+        plan = FaultPlan()  # never fires, only counts arrivals
+        with inject_faults(plan):
+            cp_als(x, 2, CpalsOptions(max_iterations=1, tolerance=0.0,
+                                      env=ChapelEnv(num_tasks=3)))
+        arrivals = plan.arrivals()
+        assert arrivals.get("tasking.coforall", 0) > 0
+        assert arrivals.get("pool.dispatch", 0) > 0
+        assert arrivals.get("pool.task", 0) > 0
+
+
+class TestPoolRegressions:
+    def test_raising_bodies_do_not_park_workers(self):
+        """Stress: repeated raising dispatches must keep every worker
+        parked-and-ready — a regression for the mid-dispatch error path."""
+        pool = WorkerPool()
+        try:
+            for round_no in range(20):
+                with pytest.raises(Boom):
+                    pool.run(4, lambda tid: (_ for _ in ()).throw(Boom()))
+                ran = []
+                pool.run(4, lambda tid: ran.append(tid))
+                assert sorted(ran) == [0, 1, 2, 3]
+            assert pool.num_workers == 4  # no worker leaked or replaced
+        finally:
+            pool.shutdown()
+
+    def test_submit_failure_mid_dispatch_drains_submitted_workers(self, monkeypatch):
+        """An exception between submit and wait must drain the already
+        submitted workers before re-raising, or the next dispatch would
+        overwrite their mailboxes while they still run the old body."""
+        from repro.runtime import pool as pool_mod
+
+        pool = WorkerPool()
+        try:
+            pool.run(4, lambda tid: None)  # create the workers
+            release = threading.Event()
+
+            def slow_body(tid):
+                release.wait(timeout=5)
+
+            real_submit = pool_mod._Worker.submit
+            calls = []
+
+            def failing_submit(self, body, tid):
+                if len(calls) == 2:
+                    release.set()  # let the two submitted bodies finish
+                    raise Boom("submit failed")
+                calls.append(tid)
+                real_submit(self, body, tid)
+
+            monkeypatch.setattr(pool_mod._Worker, "submit", failing_submit)
+            with pytest.raises(Boom):
+                pool.run(4, slow_body)
+            monkeypatch.undo()
+
+            # the dispatch slot is clean: a normal run works immediately
+            ran = []
+            pool.run(4, lambda tid: ran.append(tid))
+            assert sorted(ran) == [0, 1, 2, 3]
+        finally:
+            pool.shutdown()
+
+    def test_atexit_hook_stops_live_pools(self):
+        pool = WorkerPool()
+        assert pool in _live_pools
+        pool.run(3, lambda tid: None)
+        assert pool.num_workers == 3
+        _shutdown_live_pools()  # what interpreter exit runs
+        assert pool.num_workers == 0
+        for ident in pool.worker_idents():  # no workers left at all
+            raise AssertionError(f"worker {ident} survived atexit")
+        # post-shutdown dispatches still complete (ephemeral fallback)
+        ran = []
+        pool.run(2, lambda tid: ran.append(tid))
+        assert len(ran) == 2
+
+    def test_shutdown_is_idempotent_and_weakset_drops_dead_pools(self):
+        import gc
+
+        pool = WorkerPool()
+        pool.shutdown()
+        pool.shutdown()  # second call is a no-op
+        ref = id(pool)
+        del pool
+        gc.collect()
+        assert all(id(p) != ref for p in list(_live_pools))

@@ -1,0 +1,519 @@
+"""The resilience layer: fault plans, retry policies, checkpoint/restart.
+
+Covers the three tentpole pieces end to end:
+
+* :class:`FaultPlan` determinism (targeted occurrences, seeded Bernoulli,
+  failure caps) and the installed-plan plumbing;
+* :class:`RetryPolicy` semantics — backoff accounting, degradation, the
+  retry/degrade paths through the tasking layer and the comm exchanges;
+* checkpoint/restart golden tests: a run killed at iteration *k* and
+  resumed must match the uninterrupted run exactly, for CP-ALS, HOOI and
+  all three completion solvers.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.completion.driver import CompletionOptions, complete
+from repro.core.cpals import cp_als
+from repro.core.options import CpalsOptions
+from repro.distributed.comm import CommStats, expand_exchange, fold_exchange
+from repro.observe import tracing
+from repro.resilience import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    inject_faults,
+    load_checkpoint,
+    retrying,
+    save_checkpoint,
+)
+from repro.resilience.fault import active_plan
+from repro.resilience.retry import active_policy
+from repro.runtime.env import ChapelEnv
+from repro.runtime.tasking import make_tasking_layer
+from repro.tensor.generate import random_tensor
+from repro.tucker.hooi import tucker_hooi
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_targeted_occurrence_fires_exactly_once(self):
+        plan = FaultPlan(targets=[("site.a", 3)])
+        for n in range(1, 6):
+            if n == 3:
+                with pytest.raises(InjectedFault) as exc_info:
+                    plan.poke("site.a")
+                assert exc_info.value.site == "site.a"
+                assert exc_info.value.occurrence == 3
+                assert exc_info.value.retry_safe
+            else:
+                plan.poke("site.a")
+        assert plan.arrivals("site.a") == 5
+        assert plan.injected == [("site.a", 3)]
+
+    def test_targeted_fault_ignores_other_sites(self):
+        plan = FaultPlan(targets=[("site.a", 1)])
+        plan.poke("site.b")  # must not raise
+        with pytest.raises(InjectedFault):
+            plan.poke("site.a")
+
+    def test_probabilistic_faults_are_seed_deterministic(self):
+        def fire_pattern(seed):
+            plan = FaultPlan(probability=0.3, seed=seed)
+            fired = []
+            for n in range(50):
+                try:
+                    plan.poke("s")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+            return fired
+
+        assert fire_pattern(7) == fire_pattern(7)
+        assert any(fire_pattern(7))
+        assert fire_pattern(7) != fire_pattern(8)
+
+    def test_site_pattern_filters_probabilistic_mode(self):
+        plan = FaultPlan(probability=1.0, sites="comm.*")
+        plan.poke("tasking.coforall")  # not matched -> never fires
+        with pytest.raises(InjectedFault):
+            plan.poke("comm.fold")
+
+    def test_max_failures_caps_injections(self):
+        plan = FaultPlan(probability=1.0, max_failures=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.poke("s")
+        plan.poke("s")  # cap reached: no more failures
+        assert plan.faults_injected == 2
+
+    def test_reset_rearms_targets(self):
+        plan = FaultPlan(targets=[("s", 1)])
+        with pytest.raises(InjectedFault):
+            plan.poke("s")
+        plan.reset()
+        assert plan.arrivals() == {}
+        assert plan.faults_injected == 0
+        with pytest.raises(InjectedFault):  # occurrence counting restarted
+            plan.poke("s")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultPlan(probability=1.5)
+        with pytest.raises(ValueError, match="occurrence"):
+            FaultPlan(targets=[("s", 0)])
+
+    def test_install_and_restore(self):
+        assert active_plan() is None
+        outer = FaultPlan()
+        inner = FaultPlan()
+        with inject_faults(outer):
+            assert active_plan() is outer
+            with inject_faults(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+    def test_injection_counted_on_trace(self):
+        plan = FaultPlan(targets=[("s", 1)])
+        with tracing() as rec:
+            with pytest.raises(InjectedFault):
+                plan.poke("s")
+        assert rec.counters()["fault.injected"] == 1
+
+    def test_thread_safe_occurrence_counting(self):
+        plan = FaultPlan()
+        nthreads, pokes = 8, 200
+
+        def worker():
+            for _ in range(pokes):
+                plan.poke("s")
+
+        threads = [threading.Thread(target=worker) for _ in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert plan.arrivals("s") == nthreads * pokes
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_factor=3.0)
+        assert policy.backoff(0) == 0.5
+        assert policy.backoff(1) == 1.5
+        assert policy.backoff(2) == 4.5
+
+    def test_handles_only_listed_types(self):
+        policy = RetryPolicy()
+        assert policy.handles(InjectedFault("s", 1))
+        assert not policy.handles(ValueError("real bug"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1.0)
+
+    def test_install_and_restore(self):
+        assert active_policy() is None
+        with retrying() as policy:
+            assert active_policy() is policy
+        assert active_policy() is None
+
+    def test_pause_accounts_backoff_counter(self):
+        with tracing() as rec:
+            RetryPolicy().pause(0.25)
+        assert rec.counters()["retry.backoff_s"] == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+# Retry/degradation through the tasking layer
+# ----------------------------------------------------------------------
+class TestTaskingResilience:
+    def test_dispatch_fault_without_policy_propagates(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        plan = FaultPlan(targets=[("tasking.coforall", 1)])
+        with inject_faults(plan), pytest.raises(InjectedFault):
+            layer.coforall(3, lambda tid: None)
+        layer.shutdown()
+
+    def test_dispatch_fault_retried_and_accounted(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        plan = FaultPlan(targets=[("tasking.coforall", 1), ("tasking.coforall", 2)])
+        ran = []
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=3)):
+            layer.coforall(3, lambda tid: ran.append(tid))
+        assert sorted(ran) == [0, 1, 2]
+        assert layer.retries == 2
+        assert layer.backoff_seconds > 0
+        assert layer.degraded_dispatches == 0
+        layer.shutdown()
+
+    def test_exhausted_retries_degrade_to_serial(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=4))
+        # every dispatch arrival fails -> retries exhaust -> serial fallback
+        plan = FaultPlan(probability=1.0, sites="tasking.*")
+        tids = []
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=2)):
+            layer.coforall(4, lambda tid: tids.append(tid))
+        # serial fallback runs tids in order on the calling thread
+        assert tids == [0, 1, 2, 3]
+        assert layer.degraded_dispatches == 1
+        assert layer.retries == 2
+        layer.shutdown()
+
+    def test_degrade_disabled_raises_after_retries(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=2))
+        plan = FaultPlan(probability=1.0, sites="tasking.*")
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=1, degrade=False)):
+            with pytest.raises(InjectedFault):
+                layer.coforall(2, lambda tid: None)
+        layer.shutdown()
+
+    def test_real_errors_are_never_retried(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=2))
+        calls = []
+
+        def body(tid):
+            calls.append(tid)
+            raise ValueError("real bug")
+
+        with inject_faults(FaultPlan()), retrying(RetryPolicy(max_retries=5)):
+            with pytest.raises(ValueError, match="real bug"):
+                layer.coforall(2, body)
+        assert len(calls) == 2  # one attempt per task, no replay
+        layer.shutdown()
+
+    def test_layer_reusable_after_degradation(self):
+        layer = make_tasking_layer(ChapelEnv(num_tasks=3))
+        plan = FaultPlan(probability=1.0, sites="tasking.*")
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=0)):
+            layer.coforall(3, lambda tid: None)
+        ran = []
+        layer.coforall(3, lambda tid: ran.append(tid))  # injection off again
+        assert len(ran) == 3
+        layer.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Retry/degradation through the comm exchanges
+# ----------------------------------------------------------------------
+class TestCommResilience:
+    def test_fold_retry_accounting(self):
+        stats = CommStats()
+        plan = FaultPlan(targets=[("comm.fold", 1)])
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=2)):
+            fold_exchange(stats, 0, rows=10, messages=3)
+        assert stats.fold_rows == 10
+        assert stats.faults_injected == 1
+        assert stats.retries == 1
+        assert stats.retried_messages == 3
+        assert stats.backoff_seconds > 0
+        assert stats.degraded_exchanges == 0
+
+    def test_expand_degrades_when_retries_exhaust(self):
+        stats = CommStats()
+        plan = FaultPlan(probability=1.0, sites="comm.expand")
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=2)):
+            expand_exchange(stats, 1, rows=5, messages=2)
+        # the exchange still completes (degraded transport delivers)
+        assert stats.expand_rows == 5
+        assert stats.degraded_exchanges == 1
+        assert stats.retries == 2
+
+    def test_comm_fault_without_policy_propagates(self):
+        stats = CommStats()
+        plan = FaultPlan(targets=[("comm.fold", 1)])
+        with inject_faults(plan), pytest.raises(InjectedFault):
+            fold_exchange(stats, 0, rows=1, messages=1)
+        assert stats.fold_rows == 0  # nothing metered for the failed send
+
+    def test_merge_sums_resilience_fields(self):
+        a, b = CommStats(), CommStats()
+        a.retries, a.backoff_seconds, a.degraded_exchanges = 2, 0.5, 1
+        b.retries, b.backoff_seconds, b.faults_injected = 3, 1.5, 4
+        a.merge(b)
+        assert a.retries == 5
+        assert a.backoff_seconds == pytest.approx(2.0)
+        assert a.degraded_exchanges == 1
+        assert a.faults_injected == 4
+
+    def test_distributed_run_converges_under_comm_faults(self):
+        from repro.distributed.cpals import distributed_cp_als
+
+        x = random_tensor((10, 9, 8), 150, seed=2)
+        clean = distributed_cp_als(x, 3, nlocales=4, max_iterations=4, tolerance=0.0)
+        plan = FaultPlan(probability=0.3, sites="comm.*", seed=5)
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=2)):
+            faulty = distributed_cp_als(x, 3, nlocales=4, max_iterations=4, tolerance=0.0)
+        assert plan.faults_injected > 0
+        # numerics are untouched: only the metering saw failures
+        assert np.allclose(clean.fits, faulty.fits)
+        assert faulty.comm.retries + faulty.comm.degraded_exchanges > 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint format
+# ----------------------------------------------------------------------
+class TestCheckpointFormat:
+    def _factors(self):
+        rng = np.random.default_rng(0)
+        return [rng.random((5, 3)), rng.random((4, 3))]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        factors = self._factors()
+        rng = np.random.default_rng(42)
+        rng.random(10)  # advance the stream
+        save_checkpoint(
+            path, kind="cp_als", iteration=7, factors=factors,
+            arrays={"lambda": np.ones(3)}, meta={"rank": 3}, rng=rng,
+        )
+        ck = load_checkpoint(path)
+        assert ck.kind == "cp_als"
+        assert ck.iteration == 7
+        assert ck.version == CHECKPOINT_VERSION
+        assert ck.meta == {"rank": 3}
+        for a, b in zip(ck.factors, factors):
+            assert np.array_equal(a, b)
+        assert np.array_equal(ck.arrays["lambda"], np.ones(3))
+        # restored rng continues the same stream
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = ck.rng_state
+        assert fresh.random() == rng.random()
+
+    def test_expect_kind_mismatch(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, kind="hooi", iteration=1, factors=self._factors())
+        with pytest.raises(CheckpointError, match="hooi"):
+            load_checkpoint(path, expect_kind="cp_als")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        path.write_bytes(b"this is not a zip file")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_npz_without_header(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        np.savez(path, factor0=np.ones(3))
+        with pytest.raises(CheckpointError, match="header"):
+            load_checkpoint(path)
+
+    def test_atomic_write_leaves_no_tmp_file(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, kind="cp_als", iteration=1, factors=self._factors())
+        save_checkpoint(path, kind="cp_als", iteration=2, factors=self._factors())
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.npz"]
+        assert load_checkpoint(path).iteration == 2
+
+    def test_failed_write_preserves_previous_checkpoint(self, tmp_path, monkeypatch):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, kind="cp_als", iteration=3, factors=self._factors())
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        # die mid-write (after the tmp file opens, before the rename)
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(path, kind="cp_als", iteration=4, factors=self._factors())
+        monkeypatch.undo()
+        assert load_checkpoint(path).iteration == 3
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.npz"]
+
+    def test_save_and_load_traced(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        with tracing() as rec:
+            save_checkpoint(path, kind="cp_als", iteration=1, factors=self._factors())
+            load_checkpoint(path)
+        assert rec.counters()["checkpoint.saves"] == 1
+        assert rec.counters()["checkpoint.loads"] == 1
+
+
+# ----------------------------------------------------------------------
+# Golden kill-and-resume tests
+# ----------------------------------------------------------------------
+class TestKillResume:
+    def test_cp_als_resumed_run_matches_uninterrupted(self, tmp_path):
+        x = random_tensor((12, 11, 10), 300, seed=3)
+        base = cp_als(x, 4, CpalsOptions(max_iterations=6, tolerance=0.0))
+
+        ck = tmp_path / "cp.npz"
+        killed = cp_als(
+            x, 4,
+            CpalsOptions(max_iterations=6, tolerance=0.0, checkpoint_path=ck),
+            callback=lambda it, fit, factors: it == 3,  # "die" after iter 3
+        )
+        assert killed.iterations == 3
+        assert load_checkpoint(ck, expect_kind="cp_als").iteration == 3
+
+        resumed = cp_als(
+            x, 4, CpalsOptions(max_iterations=6, tolerance=0.0, resume_from=ck)
+        )
+        assert resumed.iterations == 6
+        assert np.allclose(base.fits, resumed.fits)
+        assert np.allclose(base.kruskal.weights, resumed.kruskal.weights)
+        for a, b in zip(base.kruskal.factors, resumed.kruskal.factors):
+            assert np.allclose(a, b)
+
+    def test_cp_als_checkpoint_every(self, tmp_path):
+        x = random_tensor((8, 7, 6), 120, seed=4)
+        ck = tmp_path / "cp.npz"
+        cp_als(x, 2, CpalsOptions(max_iterations=5, tolerance=0.0,
+                                  checkpoint_path=ck, checkpoint_every=2))
+        # iterations 2 and 4 saved; the last snapshot wins
+        assert load_checkpoint(ck).iteration == 4
+
+    def test_cp_als_resume_mismatch_rejected(self, tmp_path):
+        x = random_tensor((8, 7, 6), 120, seed=4)
+        ck = tmp_path / "cp.npz"
+        cp_als(x, 2, CpalsOptions(max_iterations=2, tolerance=0.0, checkpoint_path=ck))
+        with pytest.raises(CheckpointError, match="rank"):
+            cp_als(x, 3, CpalsOptions(resume_from=ck))
+
+    def test_hooi_resumed_run_matches_uninterrupted(self, tmp_path):
+        x = random_tensor((12, 11, 10), 300, seed=3)
+        base = tucker_hooi(x, (3, 3, 3), max_iterations=5, tolerance=0.0)
+        ck = tmp_path / "hooi.npz"
+        tucker_hooi(x, (3, 3, 3), max_iterations=2, tolerance=0.0, checkpoint_path=ck)
+        resumed = tucker_hooi(x, (3, 3, 3), max_iterations=5, tolerance=0.0,
+                              resume_from=ck)
+        assert np.allclose(base.fits, resumed.fits)
+        assert np.allclose(base.core, resumed.core)
+        for a, b in zip(base.factors, resumed.factors):
+            assert np.allclose(a, b)
+
+    def test_hooi_resume_mismatch_rejected(self, tmp_path):
+        x = random_tensor((8, 7, 6), 120, seed=4)
+        ck = tmp_path / "hooi.npz"
+        tucker_hooi(x, (2, 2, 2), max_iterations=1, tolerance=0.0, checkpoint_path=ck)
+        with pytest.raises(CheckpointError, match="ranks"):
+            tucker_hooi(x, (3, 3, 3), resume_from=ck)
+
+    @pytest.mark.parametrize("algo", ["als", "sgd", "ccd"])
+    def test_completion_resumed_run_matches_uninterrupted(self, tmp_path, algo):
+        x = random_tensor((12, 11, 10), 300, seed=3)
+        base = complete(x, 3, CompletionOptions(
+            algorithm=algo, max_epochs=8, patience=50, seed=1))
+        ck = tmp_path / f"comp-{algo}.npz"
+        complete(x, 3, CompletionOptions(
+            algorithm=algo, max_epochs=4, patience=50, seed=1, checkpoint_path=ck))
+        resumed = complete(x, 3, CompletionOptions(
+            algorithm=algo, max_epochs=8, patience=50, seed=1, resume_from=ck))
+        # SGD shuffles from the restored RNG stream; CCD resumes its residual
+        assert np.allclose(base.train_rmse, resumed.train_rmse)
+        assert np.allclose(base.val_rmse, resumed.val_rmse)
+        for a, b in zip(base.factors, resumed.factors):
+            assert np.allclose(a, b)
+
+    def test_completion_resume_mismatch_rejected(self, tmp_path):
+        x = random_tensor((8, 7, 6), 120, seed=4)
+        ck = tmp_path / "comp.npz"
+        complete(x, 2, CompletionOptions(algorithm="als", max_epochs=1,
+                                         checkpoint_path=ck))
+        with pytest.raises(CheckpointError, match="does not match"):
+            complete(x, 2, CompletionOptions(algorithm="sgd", resume_from=ck))
+
+    def test_resume_at_cap_returns_checkpoint_state(self, tmp_path):
+        x = random_tensor((8, 7, 6), 120, seed=4)
+        ck = tmp_path / "cp.npz"
+        done = cp_als(x, 2, CpalsOptions(max_iterations=3, tolerance=0.0,
+                                         checkpoint_path=ck))
+        again = cp_als(x, 2, CpalsOptions(max_iterations=3, tolerance=0.0,
+                                          resume_from=ck))
+        assert again.iterations == 3  # loop body never runs
+        assert np.allclose(done.fits, again.fits)
+        for a, b in zip(done.kruskal.factors, again.kruskal.factors):
+            assert np.allclose(a, b)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: fault-injected runs with retry converge like clean runs
+# ----------------------------------------------------------------------
+class TestConvergenceUnderFaults:
+    def test_cp_als_fit_unchanged_by_dispatch_faults(self):
+        x = random_tensor((14, 12, 10), 400, seed=6)
+        opts = CpalsOptions(max_iterations=4, tolerance=0.0,
+                            env=ChapelEnv(num_tasks=3))
+        clean = cp_als(x, 3, opts)
+        # Dispatch-level sites fire before any task body runs, so a retry
+        # replays nothing and the numerics are bit-identical.
+        plan = FaultPlan(probability=0.25, seed=11,
+                         sites=("tasking.coforall", "pool.dispatch"))
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=5)):
+            faulty = cp_als(x, 3, opts)
+        assert plan.faults_injected > 0, "plan never fired — test is vacuous"
+        assert np.allclose(clean.fits, faulty.fits)
+        for a, b in zip(clean.kruskal.factors, faulty.kruskal.factors):
+            assert np.allclose(a, b)
+        assert faulty.engine_stats.get("retries", 0) > 0
+
+    def test_cp_als_survives_total_tasking_loss_by_degrading(self):
+        x = random_tensor((10, 9, 8), 200, seed=7)
+        opts = CpalsOptions(max_iterations=2, tolerance=0.0,
+                            env=ChapelEnv(num_tasks=3))
+        clean = cp_als(x, 3, opts)
+        plan = FaultPlan(probability=1.0, sites="tasking.coforall")
+        with inject_faults(plan), retrying(RetryPolicy(max_retries=1)):
+            degraded = cp_als(x, 3, opts)
+        assert np.allclose(clean.fits, degraded.fits)
+        assert degraded.engine_stats.get("degraded_dispatches", 0) > 0

@@ -76,6 +76,33 @@ class TestTnsParsing:
         with pytest.raises(ValueError, match="at least one index"):
             load_tns(path)
 
+    def test_ragged_row_error_carries_file_line_number(self, tmp_path):
+        """Error messages must point at the *file* line (counting comments
+        and blanks), so the offending row can be found in an editor."""
+        path = tmp_path / "bad.tns"
+        path.write_text("# header comment\n1 1 1 1.0\n\n2 2 2 2.0\n3 3 3.0\n")
+        with pytest.raises(ValueError, match=r"bad\.tns:5: ragged"):
+            load_tns(path)
+
+    def test_bad_numeric_error_carries_file_line_number(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("% comment\n1 1 1 1.0\n2 2 oops 2.0\n")
+        with pytest.raises(ValueError, match=r"bad\.tns:3: bad numeric"):
+            load_tns(path)
+
+    @pytest.mark.parametrize("value", ["nan", "NaN", "inf", "-inf", "Infinity"])
+    def test_non_finite_values_rejected_with_line_number(self, tmp_path, value):
+        path = tmp_path / "bad.tns"
+        path.write_text(f"1 1 1 1.0\n2 2 2 {value}\n")
+        with pytest.raises(ValueError, match=r"bad\.tns:2: non-finite"):
+            load_tns(path)
+
+    def test_finite_values_still_load(self, tmp_path):
+        path = tmp_path / "ok.tns"
+        path.write_text("1 1 1 1e300\n2 2 2 -1e-300\n")
+        t = load_tns(path)
+        assert t.nnz == 2
+
     def test_name_is_stem(self, tmp_path):
         path = tmp_path / "mydata.tns"
         path.write_text("1 1 1.0\n")
