@@ -1,4 +1,4 @@
-"""Tracing overhead guard: disabled tracing must cost < 3% of a sweep.
+"""Tracing overhead guard: disabled tracing + sanitizing must cost < 3%.
 
 The tracing layer's contract (docs/OBSERVABILITY.md) is near-zero cost
 when no recorder is installed: every instrumented call site either reads
@@ -12,8 +12,9 @@ measurable parts:
 2. run one traced sweep and read ``recorder.events_recorded`` — the
    number of instrumentation events the sweep emits (``N``), an upper
    bound on the disabled-path call count that matters;
-3. time the disabled-path primitives directly (a ``with span()`` plus a
-   ``count()`` per event, ``c`` seconds amortized per call);
+3. time the disabled-path primitives directly (a ``with span()``, a
+   ``count()``, a sanitizer ``pause()`` and a sanitizer ``_active`` read
+   per event, ``c`` seconds amortized per call);
 
 and asserts ``N * c < 3% * T``.  The same interleaving discipline as the
 other perf benchmarks keeps shared-machine noise from biasing ``T``.
@@ -32,6 +33,7 @@ from repro.observe import spans as spans_mod
 from repro.observe import tracing
 from repro.runtime.env import ChapelEnv
 from repro.runtime.tasking import make_tasking_layer
+from repro.sanitize import detector as san_mod
 from repro.tensor.generate import random_tensor
 
 DIMS = (400, 300, 200)
@@ -66,13 +68,16 @@ def _disabled_event_cost() -> float:
     check), so this upper-bounds the per-event cost.
     """
     assert spans_mod._active is None
+    assert san_mod._active is None
     span = spans_mod.span
     count = spans_mod.count
+    pause = san_mod.pause
     # warm-up
     for _ in range(1000):
         with span("x", a=1):
             pass
         count("x")
+        pause("x")
     best = float("inf")
     for _ in range(3):
         start = time.perf_counter()
@@ -80,6 +85,11 @@ def _disabled_event_cost() -> float:
             with span("x", a=1):
                 pass
             count("x")
+            # the sanitizer's disabled hot path: a fuzzer perturbation
+            # point plus the bare global read the runtime sites do inline
+            pause("x")
+            if san_mod._active is not None:  # pragma: no cover
+                raise AssertionError
         best = min(best, time.perf_counter() - start)
     return best / NULLPATH_CALLS
 

@@ -69,6 +69,44 @@ def _report_trace(args: argparse.Namespace) -> None:
         print(f"wrote Chrome trace to {path} (load in a Perfetto/chrome://tracing UI)")
 
 
+class _SanitizeScope:
+    """Optional concurrency-sanitizer wrapper for a solver run.
+
+    With ``--sanitize``, installs :class:`repro.sanitize.Sanitizer` around
+    the solve (``--sanitize-seed`` additionally arms the schedule
+    perturber); afterwards :meth:`report_exit_code` prints the race report
+    and turns findings into exit code 1.  Without the flag this is a
+    no-op and the solver runs uninstrumented.
+    """
+
+    def __init__(self, args: argparse.Namespace):
+        self.enabled = bool(getattr(args, "sanitize", False))
+        self.seed = getattr(args, "sanitize_seed", None)
+        self._cm = None
+        self.sanitizer = None
+
+    def __enter__(self) -> "_SanitizeScope":
+        if self.enabled:
+            from repro.sanitize import sanitizing
+
+            self._cm = sanitizing(seed=self.seed)
+            self.sanitizer = self._cm.__enter__()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._cm is not None:
+            return bool(self._cm.__exit__(*exc))
+        return False
+
+    def report_exit_code(self) -> int:
+        """Print the sanitizer report; findings make the command fail."""
+        if self.sanitizer is None:
+            return 0
+        report = self.sanitizer.report()
+        print(report.render())
+        return 0 if report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
@@ -149,7 +187,7 @@ def _cmd_cpd(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
     )
-    with _traced(args):
+    with _traced(args), _SanitizeScope(args) as san_scope:
         result = cp_als(tensor, args.rank, opts)
     _report_trace(args)
     print(result.summary())
@@ -161,7 +199,7 @@ def _cmd_cpd(args: argparse.Namespace) -> int:
         else:
             save_kruskal_npz(result.kruskal, out)
             print(f"wrote model to {out if out.suffix else out.with_suffix('.npz')}")
-    return 0
+    return san_scope.report_exit_code()
 
 
 def _cmd_complete(args: argparse.Namespace) -> int:
@@ -177,7 +215,7 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
     )
-    with _traced(args):
+    with _traced(args), _SanitizeScope(args) as san_scope:
         result = complete(tensor, args.rank, opts)
     _report_trace(args)
     print(f"algorithm: {result.algorithm}")
@@ -192,7 +230,7 @@ def _cmd_complete(args: argparse.Namespace) -> int:
             out, **{f"factor{m}": f for m, f in enumerate(result.factors)}
         )
         print(f"wrote model to {out if out.suffix else out.with_suffix('.npz')}")
-    return 0
+    return san_scope.report_exit_code()
 
 
 def _cmd_tucker(args: argparse.Namespace) -> int:
@@ -202,7 +240,7 @@ def _cmd_tucker(args: argparse.Namespace) -> int:
     ranks = tuple(args.ranks)
     if len(ranks) == 1:
         ranks = ranks * tensor.nmodes
-    with _traced(args):
+    with _traced(args), _SanitizeScope(args) as san_scope:
         result = tucker_hooi(
             tensor, ranks,
             max_iterations=args.iterations,
@@ -224,7 +262,7 @@ def _cmd_tucker(args: argparse.Namespace) -> int:
             **{f"factor{m}": f for m, f in enumerate(result.factors)},
         )
         print(f"wrote model to {out if out.suffix else out.with_suffix('.npz')}")
-    return 0
+    return san_scope.report_exit_code()
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -280,6 +318,16 @@ def _cmd_reorder(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
+def _add_sanitize_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--sanitize", action="store_true",
+                   help="run under the concurrency sanitizer (vector-clock "
+                        "race detector + lock-order graph); prints a race "
+                        "report and exits 1 on findings — see docs/SANITIZER.md")
+    p.add_argument("--sanitize-seed", metavar="SEED", type=int, default=None,
+                   help="also perturb task schedules deterministically with "
+                        "this fuzz seed (same seed reproduces the schedule)")
+
+
 def _add_checkpoint_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--checkpoint", metavar="PATH",
                    help="snapshot the solver state to PATH (atomic .npz) "
@@ -327,6 +375,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(lambda.mat + mode<N>.mat) instead of .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    _add_sanitize_flags(p)
     _add_checkpoint_flags(p)
     p.set_defaults(fn=_cmd_cpd)
 
@@ -342,6 +391,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", help="write factors as .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    _add_sanitize_flags(p)
     _add_checkpoint_flags(p)
     p.set_defaults(fn=_cmd_complete)
 
@@ -355,6 +405,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", help="write core + factors as .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    _add_sanitize_flags(p)
     _add_checkpoint_flags(p)
     p.set_defaults(fn=_cmd_tucker)
 

@@ -26,6 +26,7 @@ from repro._util import VALUE_DTYPE
 from repro.csf.tree import CsfTensor
 from repro.mttkrp.partition import nnz_balanced_blocks
 from repro.mttkrp.scatter import ScatterPlan, TaskTraversal, Workspace
+from repro.sanitize import detector as _san
 from repro.runtime.locks import MutexPool
 from repro.runtime.reductions import array_reduce_buffers
 from repro.runtime.tasking import TaskingLayer
@@ -191,6 +192,11 @@ def root_range_vectorized(
     w = _upward_product(csf, factors, ranges, stop_level=0, trav=trav, ws=ws)
     rows = csf.fids[0][lo:hi] if trav is None else trav.fids[0]
     out[rows] += w
+    san = _san._active
+    if san is not None:
+        # Root tasks own disjoint slice ranges, hence disjoint rows — the
+        # sanitizer verifies that claim rather than assuming it.
+        san.on_access(out, rows, write=True, site="root_range_vectorized")
 
 
 def leaf_range_vectorized(
@@ -384,6 +390,11 @@ def run_scatter_privatized(
                 )
             else:
                 np.add.at(buffers[tid], rows, contribs)
+                san = _san._active
+                if san is not None:
+                    san.on_access(
+                        buffers[tid], rows, write=True, site="run_scatter_privatized"
+                    )
 
     else:
 
@@ -444,6 +455,13 @@ def run_scatter_mutex(
             pool.acquire(lid)
             try:
                 np.add.at(out, rows_sorted[s:e], contribs_sorted[s:e])
+                san = _san._active
+                if san is not None:
+                    # Inside the critical section: the access carries the
+                    # bucket lock in its lockset.
+                    san.on_access(
+                        out, rows_sorted[s:e], write=True, site="run_scatter_mutex"
+                    )
             finally:
                 pool.release(lid)
 

@@ -45,12 +45,17 @@ sites whose rows change every call (TTMc chunks, one-off scatters).
 
 from __future__ import annotations
 
+import itertools
+import threading
+import weakref
+
 import numpy as np
 
 from repro._util import VALUE_DTYPE
 from repro.csf.tree import CsfTensor
 from repro.mttkrp.partition import nnz_balanced_blocks
 from repro.observe import spans as _obs
+from repro.sanitize import detector as _san
 
 __all__ = [
     "sorted_scatter_add",
@@ -90,21 +95,24 @@ class Workspace:
     """A keyed arena of reusable scratch arrays (one per task).
 
     ``buf(tag, shape)`` returns the cached array for ``tag``, reallocating
-    only when the requested shape/dtype changes (e.g. a new rank).  Tags
-    include the tree level so the per-level intermediates of different
-    output modes on the same tree do not thrash each other.
+    only when the requested shape changes (e.g. a new rank).  Tags include
+    the tree level so the per-level intermediates of different output modes
+    on the same tree do not thrash each other.  The arena key includes the
+    dtype, so a tag reused with a different dtype gets its own slot instead
+    of evicting (or worse, aliasing) the other dtype's scratch.
     """
 
     def __init__(self) -> None:
         self._bufs: dict = {}
 
     def buf(self, tag, shape, dtype=VALUE_DTYPE) -> np.ndarray:
-        """The cached array for ``tag``, allocated/resized on demand."""
+        """The cached array for ``(tag, dtype)``, allocated/resized on demand."""
         shape = tuple(shape)
-        arr = self._bufs.get(tag)
-        if arr is None or arr.shape != shape or arr.dtype != dtype:
+        key = (tag, np.dtype(dtype))
+        arr = self._bufs.get(key)
+        if arr is None or arr.shape != shape:
             arr = np.empty(shape, dtype=dtype)
-            self._bufs[tag] = arr
+            self._bufs[key] = arr
         return arr
 
     def take(self, source: np.ndarray, indices: np.ndarray, tag) -> np.ndarray:
@@ -212,6 +220,11 @@ class RowScatter:
         if self.nrows_in == 0:
             return
         out[self.out_rows] += self.reduce(contribs, ws, presorted=presorted)
+        san = _san._active
+        if san is not None:
+            san.on_access(
+                out, self.out_rows, write=True, site="RowScatter.scatter_accumulate"
+            )
 
     def scatter_assign(
         self,
@@ -231,6 +244,11 @@ class RowScatter:
         if self.nrows_in == 0:
             return
         out[self.out_rows] = self.reduce(contribs, ws, presorted=presorted)
+        san = _san._active
+        if san is not None:
+            san.on_access(
+                out, self.out_rows, write=True, site="RowScatter.scatter_assign"
+            )
 
     def scatter_mutex(
         self,
@@ -250,6 +268,7 @@ class RowScatter:
         if self.nrows_in == 0:
             return
         reduced = self.reduce(contribs, ws, presorted=presorted)
+        san = _san._active
         for k in range(self.bucket_ids.size):
             s = int(self.bucket_bounds[k])
             e = int(self.bucket_bounds[k + 1])
@@ -257,6 +276,13 @@ class RowScatter:
             pool.acquire(lid)
             try:
                 out[self.out_rows[s:e]] += reduced[s:e]
+                if san is not None:
+                    # Recorded *inside* the critical section so the access
+                    # carries the bucket lock in its lockset.
+                    san.on_access(
+                        out, self.out_rows[s:e], write=True,
+                        site="RowScatter.scatter_mutex",
+                    )
             finally:
                 pool.release(lid)
 
@@ -421,12 +447,43 @@ class ScatterPlan:
         return total
 
 
+#: Monotone generation tokens for CSF trees: unlike ``id()``, a token is
+#: never reused, so a cache keyed by token can never alias a new tree onto
+#: a dead tree's plan.  Assigned lazily, one per tree, process-wide.
+_tree_token_counter = itertools.count(1)
+_tree_token_lock = threading.Lock()
+
+
+def _tree_token(tree: CsfTensor) -> int:
+    """The tree's generation token, assigned on first use."""
+    token = getattr(tree, "_mttkrp_token", None)
+    if token is None:
+        with _tree_token_lock:
+            token = getattr(tree, "_mttkrp_token", None)
+            if token is None:
+                token = next(_tree_token_counter)
+                tree._mttkrp_token = token
+    return token
+
+
+def _evict_context_tree(ctx_ref: "weakref.ref[MttkrpContext]", token: int) -> None:
+    """``weakref.finalize`` callback: drop a dead tree's cache entries."""
+    ctx = ctx_ref()
+    if ctx is not None:
+        ctx._evict_tree(token)
+
+
 class MttkrpContext:
     """Per-:class:`~repro.csf.build.CsfSet` cache of plans and workspaces.
 
-    Keys are ``id(tree)``-based — the context lives on the set that owns
-    the trees, so identity is stable for its lifetime.  Tracks plan
-    hits/misses for the engine report (``cp_als`` summary, benchmarks).
+    Tree-scoped entries are keyed by a per-tree *generation token* rather
+    than ``id(tree)``: Python reuses object ids after garbage collection,
+    so an id-keyed cache in a long-lived context could silently hand a new
+    tree another tree's stale plan.  Tokens are never reused, and a
+    ``weakref.finalize`` on each tree evicts its entries when the tree is
+    collected, so a context fed a stream of transient trees does not grow
+    without bound.  Tracks plan hits/misses for the engine report
+    (``cp_als`` summary, benchmarks).
     """
 
     def __init__(self) -> None:
@@ -435,14 +492,39 @@ class MttkrpContext:
         self._buffers: dict = {}
         self._workspaces: dict = {}
         self._mutex_pools: dict = {}
+        self._finalized_tokens: set[int] = set()
+        # Reentrant: a finalize-driven eviction can fire from a GC pass
+        # triggered by an allocation while this thread already holds it.
+        self._evict_lock = threading.RLock()
         self.plan_hits = 0
         self.plan_misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
+    def _tree_key(self, tree: CsfTensor) -> int:
+        """The tree's token, registering the eviction finalizer once per
+        (context, tree) pair."""
+        token = _tree_token(tree)
+        with self._evict_lock:
+            if token not in self._finalized_tokens:
+                self._finalized_tokens.add(token)
+                weakref.finalize(tree, _evict_context_tree, weakref.ref(self), token)
+        return token
+
+    def _evict_tree(self, token: int) -> None:
+        """Drop every cache entry belonging to a collected tree."""
+        with self._evict_lock:
+            for cache in (self._traversals, self._plans, self._workspaces,
+                          self._buffers):
+                for key in [k for k in cache if k[0] == token]:
+                    del cache[key]
+            self._finalized_tokens.discard(token)
+            self.evictions += 1
+
     def _shared_traversals(
         self, tree: CsfTensor, ntasks: int
     ) -> tuple[np.ndarray, list[TaskTraversal]]:
-        key = (id(tree), ntasks)
+        key = (self._tree_key(tree), ntasks)
         entry = self._traversals.get(key)
         if entry is None:
             bounds = nnz_balanced_blocks(tree, ntasks)
@@ -458,7 +540,7 @@ class MttkrpContext:
         self, tree: CsfTensor, level: int, ntasks: int, pool_size: int | None = None
     ) -> tuple[ScatterPlan, bool]:
         """The cached :class:`ScatterPlan` for the key, plus a hit flag."""
-        key = (id(tree), level, ntasks, pool_size)
+        key = (self._tree_key(tree), level, ntasks, pool_size)
         cached = self._plans.get(key)
         if cached is not None:
             self.plan_hits += 1
@@ -478,7 +560,7 @@ class MttkrpContext:
 
     def workspaces(self, tree: CsfTensor, ntasks: int) -> list[Workspace]:
         """One :class:`Workspace` per task, shared by all levels of a tree."""
-        key = (id(tree), ntasks)
+        key = (self._tree_key(tree), ntasks)
         ws = self._workspaces.get(key)
         if ws is None:
             ws = [Workspace() for _ in range(ntasks)]
@@ -510,7 +592,7 @@ class MttkrpContext:
         overwrites exactly the rows it owns, so the invariant "rows outside
         ``out_rows`` are zero" holds across calls.
         """
-        key = (id(tree), level, ntasks, tuple(shape))
+        key = (self._tree_key(tree), level, ntasks, tuple(shape))
         bufs = self._buffers.get(key)
         if bufs is None:
             bufs = [np.zeros(shape, dtype=VALUE_DTYPE) for _ in range(ntasks)]
@@ -533,19 +615,20 @@ class MttkrpContext:
         """Drop every cached plan, traversal, workspace, privatization
         buffer and mutex pool.
 
-        Long-lived processes that decompose a stream of distinct tensors
-        through one context would otherwise retain ``id()``-keyed entries
-        for trees that no longer exist (and, because the keys embed object
-        ids, a recycled id could even alias a *new* tree onto a stale
-        plan).  Hit/miss counters are preserved — they describe the run,
-        not the cache contents.  The next :meth:`plan` call rebuilds from
-        scratch (a miss) and yields identical results.
+        Dead trees evict their own entries automatically (token keys +
+        ``weakref.finalize``); this clears everything at once for processes
+        that want to release plan memory for *live* trees too.  Hit/miss
+        counters are preserved — they describe the run, not the cache
+        contents.  The next :meth:`plan` call rebuilds from scratch (a
+        miss) and yields identical results.
         """
-        self._traversals.clear()
-        self._plans.clear()
-        self._buffers.clear()
-        self._workspaces.clear()
-        self._mutex_pools.clear()
+        with self._evict_lock:
+            self._traversals.clear()
+            self._plans.clear()
+            self._buffers.clear()
+            self._workspaces.clear()
+            self._mutex_pools.clear()
+            self._finalized_tokens.clear()
 
     def stats(self) -> dict[str, int]:
         """Cache accounting: plans held, hits, misses, bytes cached."""
@@ -559,4 +642,5 @@ class MttkrpContext:
             "plan_bytes": plan_bytes,
             "workspace_bytes": ws_bytes,
             "buffer_bytes": buf_bytes,
+            "evictions": self.evictions,
         }

@@ -49,6 +49,7 @@ from repro.mttkrp.locks_policy import needs_locks
 from repro.mttkrp.partition import nnz_balanced_blocks
 from repro.observe import spans as _obs
 from repro.runtime.env import ChapelEnv
+from repro.sanitize import detector as _san
 from repro.runtime.locks import DEFAULT_POOL_SIZE, MutexPool, make_mutex_pool
 from repro.runtime.reductions import array_reduce_buffers
 from repro.runtime.tasking import TaskingLayer, make_tasking_layer
@@ -459,6 +460,10 @@ def mttkrp_csf(
             the_pool = make_mutex_pool(mutex_kind, size=pool_size, env=env)
 
     plan_hit: bool | None = None
+
+    san = _san._active
+    if san is not None:
+        san.register_array(out, f"mttkrp.out.mode{mode}")
 
     def _execute() -> None:
         nonlocal plan_hit

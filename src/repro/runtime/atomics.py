@@ -15,6 +15,9 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.observe import spans as _obs
+from repro.sanitize import detector as _san
+
 __all__ = ["AtomicInt", "AtomicReal", "AtomicBool"]
 
 
@@ -108,14 +111,26 @@ class AtomicReal(_AtomicBase):
 
 
 class AtomicBool(_AtomicBase):
-    """``atomic bool`` with test-and-set / clear (the Listing 6 pair)."""
+    """``atomic bool`` with test-and-set / clear (the Listing 6 pair).
 
-    def __init__(self, initial: bool = False):
+    ``counters`` (optional) makes the :meth:`spin_lock` / :meth:`spin_unlock`
+    pair account exactly like :class:`~repro.runtime.locks.AtomicLockPool`:
+    one ``task_yields`` per failed test-and-set, then ``lock_acquires`` and
+    ``lock_contended`` on success — so Listing-6 spinlocks used directly are
+    visible to the Fig-4 performance model instead of silently free.
+    """
+
+    def __init__(self, initial: bool = False, counters=None):
         super().__init__(bool(initial))
+        self.counters = counters
 
     @staticmethod
     def _coerce(value):
         return bool(value)
+
+    def _san_token(self) -> tuple:
+        """Sanitizer identity of this spinlock (lockset membership)."""
+        return ("AtomicBool", id(self), 0)
 
     def test_and_set(self) -> bool:
         """Set to True; return the *previous* value (True ⇒ already held)."""
@@ -128,11 +143,35 @@ class AtomicBool(_AtomicBase):
         """Set to False (release in the Listing 6 spinlock)."""
         self.write(False)
 
-    def spin_lock(self) -> None:
+    def spin_lock(self, counters=None) -> None:
         """Listing 6's acquire: spin on test-and-set, yielding between
-        attempts (``chpl_task_yield``)."""
+        attempts (``chpl_task_yield``).
+
+        ``counters`` overrides the instance handle for this call; with
+        either in place the accounting matches ``AtomicLockPool.acquire``
+        (yields per spin, acquires and contention on success).
+        """
+        counters = counters if counters is not None else self.counters
+        _san.pause("lock.spin")
+        contended = False
         while self.test_and_set():
-            time.sleep(0)
+            contended = True
+            if counters is not None:
+                counters.add(task_yields=1)
+            time.sleep(0)  # chpl_task_yield analogue: cede the OS thread
+        if counters is not None:
+            counters.add(lock_acquires=1, lock_contended=int(contended))
+        san = _san._active
+        if san is not None:
+            san.on_acquire(self._san_token(), "AtomicBool.spin_lock")
+        rec = _obs._active
+        if rec is not None:
+            rec.count("lock.acquires")
+            if contended:
+                rec.count("lock.contended")
 
     def spin_unlock(self) -> None:
+        san = _san._active
+        if san is not None:
+            san.on_release(self._san_token())
         self.clear()

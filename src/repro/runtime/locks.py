@@ -30,6 +30,7 @@ from abc import ABC, abstractmethod
 from repro.observe import spans as _obs
 from repro.runtime.accounting import CostCounters
 from repro.runtime.env import ChapelEnv
+from repro.sanitize import detector as _san
 
 __all__ = [
     "DEFAULT_POOL_SIZE",
@@ -60,6 +61,11 @@ class MutexPool(ABC):
     def lock_id(self, index: int) -> int:
         """Hash a protected row index into the pool (SPLATT: ``i % nlocks``)."""
         return int(index) % self.size
+
+    def _san_token(self, lock_id: int) -> tuple:
+        """The sanitizer's identity for one pool lock (lockset membership
+        and lock-order-graph node)."""
+        return (type(self).__name__, id(self), lock_id)
 
     @abstractmethod
     def acquire(self, lock_id: int) -> None:
@@ -103,6 +109,7 @@ class AtomicLockPool(MutexPool):
         self._locks = [threading.Lock() for _ in range(size)]
 
     def acquire(self, lock_id: int) -> None:
+        _san.pause("lock.acquire")
         lock = self._locks[lock_id]
         contended = False
         # testAndSet loop: try without blocking; yield the task on failure.
@@ -111,6 +118,9 @@ class AtomicLockPool(MutexPool):
             self.counters.add(task_yields=1)
             time.sleep(0)  # chpl_task_yield analogue: cede the OS thread
         self.counters.add(lock_acquires=1, lock_contended=int(contended))
+        san = _san._active
+        if san is not None:
+            san.on_acquire(self._san_token(lock_id), "AtomicLockPool.acquire")
         rec = _obs._active
         if rec is not None:
             rec.count("lock.acquires")
@@ -118,6 +128,9 @@ class AtomicLockPool(MutexPool):
                 rec.count("lock.contended")
 
     def release(self, lock_id: int) -> None:
+        san = _san._active
+        if san is not None:
+            san.on_release(self._san_token(lock_id))
         self._locks[lock_id].release()
 
 
@@ -149,17 +162,27 @@ class SyncLockPool(MutexPool):
         self._conds = [threading.Condition(threading.Lock()) for _ in range(size)]
 
     def acquire(self, lock_id: int) -> None:
+        _san.pause("lock.acquire")
+        san = _san._active
         cond = self._conds[lock_id]
         contended = False
         sleeps = 0
         if self.env.sync_vars_sleep:
             with cond:
+                waiting = False
+                if san is not None and not self._full[lock_id]:
+                    # Sleep path: an outstanding wait the releaser must end
+                    # with a notify — tracked for lost-wakeup detection.
+                    waiting = True
+                    san.wait_begin(self._san_token(lock_id), "full")
                 while not self._full[lock_id]:
                     contended = True
                     sleeps += 1
                     # Qthreads: deschedule the task until the writer signals.
                     self.counters.add(sync_sleeps=1)
                     cond.wait()
+                if waiting:
+                    san.wait_end(self._san_token(lock_id))
                 self._full[lock_id] = False
         else:
             # fifo: spin-wait on the full/empty bit.
@@ -172,6 +195,8 @@ class SyncLockPool(MutexPool):
                 self.counters.add(task_yields=1)
                 time.sleep(0)
         self.counters.add(lock_acquires=1, lock_contended=int(contended))
+        if san is not None:
+            san.on_acquire(self._san_token(lock_id), "SyncLockPool.acquire")
         rec = _obs._active
         if rec is not None:
             rec.count("lock.acquires")
@@ -181,6 +206,9 @@ class SyncLockPool(MutexPool):
                 rec.count("lock.sync_sleeps", sleeps)
 
     def release(self, lock_id: int) -> None:
+        san = _san._active
+        if san is not None:
+            san.on_release(self._san_token(lock_id))
         cond = self._conds[lock_id]
         with cond:
             if self._full[lock_id]:

@@ -42,6 +42,7 @@ from typing import Callable
 
 from repro.observe import spans as _obs
 from repro.resilience import fault as _flt
+from repro.sanitize import detector as _san
 
 __all__ = ["WorkerPool", "run_ephemeral"]
 
@@ -210,6 +211,10 @@ class WorkerPool:
         """
         if ntasks < 1:
             raise ValueError("ntasks must be >= 1")
+        # Fuzzer perturbation point: delay the dispatch itself so pooled
+        # tasks start against shifted backgrounds (no-op unless a sanitizer
+        # with a schedule perturber is installed).
+        _san.pause("pool.dispatch")
         if (
             self._closed
             or threading.get_ident() in self._idents

@@ -20,6 +20,7 @@ from typing import Callable
 from repro.observe import spans as _obs
 from repro.resilience import fault as _flt
 from repro.resilience import retry as _rty
+from repro.sanitize import detector as _san
 from repro.runtime.tasking import TaskingLayer, static_block
 
 __all__ = ["SCHEDULES", "forall_scheduled"]
@@ -101,6 +102,9 @@ def forall_scheduled(
                 if claimed is None:
                     return
                 claimed_chunks += 1
+                # Fuzzer perturbation point: stall between claim and body so
+                # chunk interleavings vary across tasks under a seed.
+                _san.pause("schedule.chunk")
                 # Fault site fires between claim and body, and is retried
                 # *here* (per chunk) rather than at the dispatch level: a
                 # claimed chunk is gone from the dealer, so dropping it to

@@ -34,6 +34,7 @@ from typing import Generic, TypeVar
 
 from repro.runtime.accounting import CostCounters
 from repro.runtime.env import ChapelEnv
+from repro.sanitize import detector as _san
 
 __all__ = ["SyncVar"]
 
@@ -77,9 +78,21 @@ class SyncVar(Generic[T]):
     # ------------------------------------------------------------------
     # waiting primitives
     # ------------------------------------------------------------------
+    def _san_key(self) -> tuple:
+        """The sanitizer's identity for this variable (wait tracking and
+        happens-before handoff edges)."""
+        return ("SyncVar", id(self))
+
     def _wait_for_state(self, want_full: bool) -> None:
         """Block (sleep or spin, per the tasking layer) until the state
         matches; caller must hold ``self._cond``."""
+        san = _san._active
+        waiting = False
+        if san is not None and self._full != want_full:
+            # An outstanding blocked access: a writer/reader must complete
+            # it — tracked so a watchdog can flag it as a lost wakeup.
+            waiting = True
+            san.wait_begin(self._san_key(), "full" if want_full else "empty")
         if self.env.sync_vars_sleep:
             while self._full != want_full:
                 self.counters.add(sync_sleeps=1)
@@ -90,6 +103,15 @@ class SyncVar(Generic[T]):
                 self.counters.add(task_yields=1)
                 time.sleep(0)
                 self._cond.acquire()
+        if waiting:
+            san.wait_end(self._san_key())
+
+    def _san_op(self) -> None:
+        """Record a completed state transition as a happens-before handoff
+        (serialization-order edge); caller holds ``self._cond``."""
+        san = _san._active
+        if san is not None:
+            san.on_sync_op(self._san_key())
 
     def _notify(self) -> None:
         if self.env.sync_vars_sleep:
@@ -100,17 +122,21 @@ class SyncVar(Generic[T]):
     # ------------------------------------------------------------------
     def read_fe(self) -> T:
         """Block until full, return the value, leave **empty**."""
+        _san.pause("syncvar.op")
         with self._cond:
             self._wait_for_state(True)
             value = self._value
             self._full = False
+            self._san_op()
             self._notify()
             return value  # type: ignore[return-value]
 
     def read_ff(self) -> T:
         """Block until full, return the value, leave full."""
+        _san.pause("syncvar.op")
         with self._cond:
             self._wait_for_state(True)
+            self._san_op()
             self._notify()
             return self._value  # type: ignore[return-value]
 
@@ -124,24 +150,30 @@ class SyncVar(Generic[T]):
     # ------------------------------------------------------------------
     def write_ef(self, value: T) -> None:
         """Block until empty, store ``value``, leave **full**."""
+        _san.pause("syncvar.op")
         with self._cond:
             self._wait_for_state(False)
             self._value = value
             self._full = True
+            self._san_op()
             self._notify()
 
     def write_ff(self, value: T) -> None:
         """Block until full, overwrite the value, leave full."""
+        _san.pause("syncvar.op")
         with self._cond:
             self._wait_for_state(True)
             self._value = value
+            self._san_op()
             self._notify()
 
     def write_xf(self, value: T) -> None:
         """Store ``value`` regardless of state, leave full."""
+        _san.pause("syncvar.op")
         with self._cond:
             self._value = value
             self._full = True
+            self._san_op()
             self._notify()
 
     # ------------------------------------------------------------------
@@ -149,9 +181,11 @@ class SyncVar(Generic[T]):
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Set to the default value and leave **empty** (Chapel ``reset``)."""
+        _san.pause("syncvar.op")
         with self._cond:
             self._value = self._default
             self._full = False
+            self._san_op()
             self._notify()
 
     def is_full(self) -> bool:

@@ -35,6 +35,7 @@ from typing import Callable
 from repro.observe import spans as _obs
 from repro.resilience import fault as _flt
 from repro.resilience import retry as _rty
+from repro.sanitize import detector as _san
 from repro.runtime.accounting import CostCounters
 from repro.runtime.env import ChapelEnv
 from repro.runtime.pool import WorkerPool, run_ephemeral
@@ -206,24 +207,48 @@ class TaskingLayer(ABC):
             body(0)
             return
         self.counters.add(tasks_spawned=ntasks)
-        rec = _obs._active
-        if rec is not None:
-            # Trace the dispatch and each task body.  Task spans run on the
-            # worker threads (their own timelines); the explicit parent_id
-            # keeps the cross-thread dispatch → task edge in the span tree.
-            with rec.span(
-                "coforall",
-                {"ntasks": ntasks, "layer": self.name, "pooled": self.persistent},
-            ) as dispatch_span:
-                inner = body
+        san = _san._active
+        handles = None
+        if san is not None:
+            # Fork one sanitizer timeline per task *before* dispatch: the
+            # children inherit the caller's clock (fork edge) and are
+            # mutually concurrent.  The wrap binds each body to its
+            # timeline on whatever thread ends up running it — including
+            # the calling thread itself on the degraded serial path, where
+            # the tasks are still logically concurrent.
+            _san.pause("tasking.coforall")
+            handles = san.fork(ntasks, f"coforall:{self.name}")
+            san_inner = body
 
-                def body(tid: int, _inner=inner, _parent=dispatch_span) -> None:
-                    with rec.span("task", {"tid": tid}, parent_id=_parent.id):
-                        _inner(tid)
+            def body(tid: int, _inner=san_inner, _h=handles) -> None:
+                with san.task(_h[tid]):
+                    _inner(tid)
 
-                self._dispatch(ntasks, body, dispatch_span)
-            return
-        self._dispatch(ntasks, body, None)
+        try:
+            rec = _obs._active
+            if rec is not None:
+                # Trace the dispatch and each task body.  Task spans run on
+                # the worker threads (their own timelines); the explicit
+                # parent_id keeps the cross-thread dispatch → task edge in
+                # the span tree.
+                with rec.span(
+                    "coforall",
+                    {"ntasks": ntasks, "layer": self.name, "pooled": self.persistent},
+                ) as dispatch_span:
+                    inner = body
+
+                    def body(tid: int, _inner=inner, _parent=dispatch_span) -> None:
+                        with rec.span("task", {"tid": tid}, parent_id=_parent.id):
+                            _inner(tid)
+
+                    self._dispatch(ntasks, body, dispatch_span)
+            else:
+                self._dispatch(ntasks, body, None)
+        finally:
+            if san is not None:
+                # Join edge: everything the children did happened before
+                # anything the caller does next (coforall is a barrier).
+                san.join(handles)
 
     def forall(self, n: int, body: Callable[[int, int, int], None]) -> None:
         """Data-parallel loop: block ``0..n-1`` over ``env.num_tasks`` tasks.

@@ -1,0 +1,70 @@
+"""``repro.sanitize`` — deterministic concurrency sanitizer.
+
+A vector-clock happens-before race detector with lockset filtering
+(:mod:`~repro.sanitize.detector`), a lock-order graph for deadlock
+potential (:mod:`~repro.sanitize.lockgraph`), outstanding-wait tracking
+for lost wakeups, and a seeded schedule-perturbation fuzzer
+(:mod:`~repro.sanitize.fuzz`).  The runtime primitives and the MTTKRP
+scatter kernels are pre-instrumented; install with::
+
+    from repro.sanitize import sanitizing
+
+    with sanitizing(seed=7) as san:
+        ...  # run parallel code
+    report = san.report()
+    assert report.ok, report.render()
+
+See docs/SANITIZER.md for the model and its guarantees.
+
+The certification helpers (:func:`certify_scatter_mutex`,
+:func:`seeded_unlocked_scatter`) are re-exported lazily: they pull in the
+full kernel stack, which itself imports the instrumented runtime modules —
+importing them eagerly here would make ``repro.sanitize`` circular.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.clocks import VectorClock
+from repro.sanitize.detector import (
+    RaceFinding,
+    RaceReport,
+    Sanitizer,
+    active_sanitizer,
+    enabled,
+    pause,
+    sanitizing,
+)
+from repro.sanitize.fuzz import SchedulePerturber
+from repro.sanitize.lockgraph import LockOrderGraph
+
+__all__ = [
+    "VectorClock",
+    "LockOrderGraph",
+    "SchedulePerturber",
+    "RaceFinding",
+    "RaceReport",
+    "Sanitizer",
+    "sanitizing",
+    "active_sanitizer",
+    "enabled",
+    "pause",
+    "certify_scatter_mutex",
+    "seeded_unlocked_scatter",
+    "MUTEX_KINDS",
+    "TASKING_LAYER_NAMES",
+]
+
+_CERTIFY_NAMES = {
+    "certify_scatter_mutex",
+    "seeded_unlocked_scatter",
+    "MUTEX_KINDS",
+    "TASKING_LAYER_NAMES",
+}
+
+
+def __getattr__(name: str):
+    if name in _CERTIFY_NAMES:
+        from repro.sanitize import certify
+
+        return getattr(certify, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,72 @@
+"""Lock-order graph: deadlock-potential detection for the lock pools.
+
+Every time a task acquires lock ``B`` while already holding lock ``A``,
+the sanitizer records the directed edge ``A → B``.  A cycle in this graph
+means two tasks can acquire the same locks in opposite orders — the
+classic ABBA deadlock — even if the run at hand happened not to hang.
+The MTTKRP mutex path acquires exactly one pool lock at a time, so its
+graph has no edges at all; any edge appearing there is itself a finding
+worth reading.
+
+Lock tokens are the sanitizer's ``(kind, object id, lock id)`` triples;
+cycle reporting uses the human-readable labels registered alongside them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["LockOrderGraph"]
+
+
+class LockOrderGraph:
+    """A directed graph over lock tokens with deterministic cycle search."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: edge → first site string that created it (kept for the report)
+        self._edges: dict[tuple[tuple, tuple], str] = {}
+
+    def add_edge(self, held, acquired, site: str) -> None:
+        """Record that ``acquired`` was taken while ``held`` was held."""
+        if held == acquired:
+            return
+        with self._lock:
+            self._edges.setdefault((held, acquired), site)
+
+    def edges(self) -> dict[tuple[tuple, tuple], str]:
+        with self._lock:
+            return dict(self._edges)
+
+    def cycles(self) -> list[list[tuple]]:
+        """All elementary cycles, each rotated to start at its smallest
+        token and the list sorted — so identical graphs always render
+        identical reports regardless of insertion order."""
+        with self._lock:
+            adjacency: dict[tuple, list[tuple]] = {}
+            for held, acquired in self._edges:
+                adjacency.setdefault(held, []).append(acquired)
+        for targets in adjacency.values():
+            targets.sort()
+
+        found: set[tuple] = set()
+        cycles: list[list[tuple]] = []
+
+        def walk(node: tuple, path: list[tuple], on_path: set) -> None:
+            for nxt in adjacency.get(node, ()):
+                if nxt in on_path:
+                    cycle = path[path.index(nxt):]
+                    start = cycle.index(min(cycle))
+                    canon = tuple(cycle[start:] + cycle[:start])
+                    if canon not in found:
+                        found.add(canon)
+                        cycles.append(list(canon))
+                elif nxt not in path:
+                    on_path.add(nxt)
+                    walk(nxt, path + [nxt], on_path)
+                    on_path.discard(nxt)
+
+        for root in sorted(adjacency):
+            walk(root, [root], {root})
+        cycles.sort()
+        return cycles

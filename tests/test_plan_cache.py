@@ -126,3 +126,85 @@ def test_clear_mid_run_preserves_results():
         again = _sweep(csf_set, factors)
         for a, b in zip(baseline, again):
             np.testing.assert_allclose(a, b)
+
+
+def test_dropped_trees_are_evicted_and_ids_cannot_alias():
+    """ISSUE 4 satellite: the context used to key caches by ``id(tree)``,
+    so a dropped tree whose id CPython reused handed the new tree a stale
+    plan.  Keys are now per-tree generation tokens with weakref eviction:
+    build/drop/rebuild in a loop must never alias and must actually evict.
+    """
+    import gc
+
+    from repro.mttkrp.scatter import MttkrpContext
+
+    ctx = MttkrpContext()
+    results = []
+    for i in range(6):
+        tensor = random_tensor((10, 8, 6), 120, seed=i)
+        csf_set = build_csf_set(tensor)
+        # share one context across generations (CsfSet is frozen)
+        object.__setattr__(csf_set, "_mttkrp_context", ctx)
+        factors = _factors(tensor, seed=i)
+        results.append(_sweep(csf_set, factors))
+        # recompute with a fresh context as ground truth: a stale plan from
+        # an earlier (dropped, possibly id-reused) tree would corrupt this
+        fresh = build_csf_set(random_tensor((10, 8, 6), 120, seed=i))
+        expected = _sweep(fresh, factors)
+        for got, want in zip(results[-1], expected):
+            np.testing.assert_allclose(got, want)
+        del tensor, csf_set, fresh
+        gc.collect()
+    assert ctx.evictions > 0, "dropped trees should evict their cache keys"
+    # all entries for dead trees are gone; the context is not a leak
+    entries = ctx.cache_entries()
+    assert entries["plans"] == 0
+    assert entries["traversals"] == 0
+
+
+def test_tree_tokens_are_stable_and_unique():
+    from repro.mttkrp.scatter import _tree_token
+
+    tensor = random_tensor((8, 6, 5), 80, seed=1)
+    csf_set = build_csf_set(tensor)
+    trees = list(csf_set.trees)
+    tokens = [_tree_token(t) for t in trees]
+    assert len(set(tokens)) == len(tokens)
+    assert tokens == [_tree_token(t) for t in trees]  # stable on re-ask
+
+
+def test_workspace_buf_keyed_by_dtype():
+    """ISSUE 4 satellite: the arena used to key on tag alone, so reusing a
+    tag with a second dtype evicted (and could alias) the first."""
+    from repro.mttkrp.scatter import Workspace
+
+    ws = Workspace()
+    f64 = ws.buf("t", (4, 3), np.float64)
+    f32 = ws.buf("t", (4, 3), np.float32)
+    assert f64.dtype == np.float64 and f32.dtype == np.float32
+    # both stay cached: asking again returns the same arrays, no thrash
+    assert ws.buf("t", (4, 3), np.float64) is f64
+    assert ws.buf("t", (4, 3), np.float32) is f32
+    # shape change still reallocates within a dtype slot
+    bigger = ws.buf("t", (5, 3), np.float64)
+    assert bigger.shape == (5, 3)
+    assert ws.buf("t", (4, 3), np.float32) is f32  # other slot untouched
+
+
+def test_clear_plan_cache_resets_finalized_bookkeeping():
+    import gc
+
+    from repro.mttkrp.scatter import MttkrpContext
+
+    ctx = MttkrpContext()
+    tensor = random_tensor((8, 6, 5), 80, seed=2)
+    csf_set = build_csf_set(tensor)
+    object.__setattr__(csf_set, "_mttkrp_context", ctx)
+    _sweep(csf_set, _factors(tensor))
+    ctx.clear_plan_cache()
+    assert all(v == 0 for v in ctx.cache_entries().values())
+    # the context stays usable after a clear + tree drop cycle
+    _sweep(csf_set, _factors(tensor))
+    del tensor, csf_set
+    gc.collect()
+    assert ctx.cache_entries()["plans"] == 0

@@ -1,0 +1,132 @@
+"""End-to-end sanitizer certification of the MTTKRP kernel stack.
+
+The headline claims from ISSUE 4:
+
+* ``scatter_mutex`` is certified race-free under every
+  {sync, atomic} × {qthreads, fifo} combination (the paper's Listing-6
+  matrix);
+* the intentionally unlocked ``scatter_assign`` on contended rows is
+  flagged — the positive control proving the detector actually detects;
+* the same fuzz seed produces the same report fingerprint;
+* findings flow out through the ``repro.observe`` trace;
+* ``--sanitize`` is wired into the CLI drivers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.observe.spans import TraceRecorder, tracing
+from repro.sanitize import (
+    MUTEX_KINDS,
+    TASKING_LAYER_NAMES,
+    certify_scatter_mutex,
+    seeded_unlocked_scatter,
+)
+from repro.tensor.generate import planted_low_rank
+from repro.tensor.io import save_tns
+
+
+@pytest.fixture()
+def tns_file(tmp_path):
+    tensor, _ = planted_low_rank((10, 8, 6), 2, 300, seed=1)
+    path = tmp_path / "data.tns"
+    save_tns(tensor, path)
+    return str(path)
+
+
+class TestCertificationMatrix:
+    def test_scatter_mutex_clean_on_all_combinations(self):
+        reports = certify_scatter_mutex(fuzz_seed=3)
+        combos = set(reports)
+        assert combos == {
+            (kind, layer) for kind in MUTEX_KINDS for layer in TASKING_LAYER_NAMES
+        }
+        for combo, report in reports.items():
+            assert report.ok, f"{combo}: {report.render()}"
+            # the run must actually have exercised the instrumented paths
+            assert report.stats["accesses"] > 0, combo
+            assert report.stats["lock_events"] > 0, combo
+            assert report.stats["tasks"] > 1, combo
+
+    def test_matrix_is_deterministic_per_seed(self):
+        a = certify_scatter_mutex(fuzz_seed=11, modes=(1,))
+        b = certify_scatter_mutex(fuzz_seed=11, modes=(1,))
+        for combo in a:
+            assert a[combo].fingerprint() == b[combo].fingerprint()
+
+
+class TestPositiveControl:
+    def test_unlocked_scatter_is_flagged(self):
+        report = seeded_unlocked_scatter(7)
+        assert not report.ok
+        races = report.by_kind("data-race")
+        assert len(races) == 1
+        finding = races[0]
+        assert finding.array == "control.out"
+        assert finding.sites == ("RowScatter.scatter_assign",)
+        assert finding.count > 0
+        assert len(finding.rows) > 0
+        assert len(finding.tasks) >= 2
+
+    def test_same_seed_same_fingerprint(self):
+        first = seeded_unlocked_scatter(21)
+        second = seeded_unlocked_scatter(21)
+        assert first.fingerprint() == second.fingerprint()
+        assert not first.ok
+
+    def test_detected_even_without_fuzzing(self):
+        # The verdict comes from the logical structure (no lock in the
+        # lockset, concurrent fork siblings), not from an observed
+        # interleaving — fuzzing off must not change it.
+        report = seeded_unlocked_scatter(0, fuzz=False)
+        assert not report.ok
+        assert report.fingerprint() == seeded_unlocked_scatter(5, fuzz=False).fingerprint()
+
+
+class TestTraceExport:
+    def test_findings_surface_as_counters_and_spans(self):
+        rec = TraceRecorder()
+        with tracing(recorder=rec):
+            report = seeded_unlocked_scatter(7)
+        assert not report.ok
+        assert rec.counters()["sanitize.findings"] >= 1
+        names = [s.name for s in rec.finished_spans()]
+        assert "sanitize.race" in names
+        assert rec.gauges()["sanitize.accesses"] == report.stats["accesses"]
+        assert rec.gauges()["sanitize.tasks"] == report.stats["tasks"]
+
+    def test_clean_run_exports_no_race_spans(self):
+        rec = TraceRecorder()
+        with tracing(recorder=rec):
+            reports = certify_scatter_mutex(modes=(0,), mutex_kinds=("atomic",),
+                                            layer_names=("fifo",))
+        assert all(r.ok for r in reports.values())
+        assert "sanitize.findings" not in rec.counters()
+        assert all(s.name != "sanitize.race" for s in rec.finished_spans())
+
+
+class TestCliSanitize:
+    def test_cpd_sanitize_clean(self, tns_file, capsys):
+        code = main([
+            "cpd", tns_file, "-r", "2", "-i", "2", "--tolerance", "0",
+            "--sanitize", "--sanitize-seed", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sanitizer: clean" in out
+
+    def test_tucker_sanitize_clean(self, tns_file, capsys):
+        code = main([
+            "tucker", tns_file, "-r", "2", "-i", "1", "--sanitize",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sanitizer: clean" in out
+
+    def test_without_flag_no_report(self, tns_file, capsys):
+        code = main(["cpd", tns_file, "-r", "2", "-i", "1", "--tolerance", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sanitizer" not in out
