@@ -1,12 +1,15 @@
 # Convenience targets; see CONTRIBUTING.md.
 
-.PHONY: install test bench experiments examples all clean
+.PHONY: install test lint bench experiments examples all clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	PYTHONPATH=src python -m repro.lint src/repro
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -18,7 +21,7 @@ examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
 	@echo "all examples OK"
 
-all: test bench experiments examples
+all: lint test bench experiments examples
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks

@@ -19,6 +19,7 @@ from repro.completion.als import als_step
 from repro.completion.ccd import ccd_epoch
 from repro.completion.losses import predict_entries, rmse
 from repro.completion.sgd import sgd_epoch
+from repro.mttkrp.scatter import Workspace
 from repro.observe import spans as _obs
 from repro.resilience.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from repro.tensor.coo import SparseTensor
@@ -186,6 +187,9 @@ def complete(
     converged = False
     learn_rate = opts.learn_rate
     ccd_residual: np.ndarray | None = None
+    # one scratch arena for every SGD epoch: steady-state batches reuse the
+    # same scatter buffers instead of reallocating per chunk
+    sgd_workspace = Workspace()
     start_epoch = 0
 
     if opts.resume_from is not None:
@@ -269,6 +273,7 @@ def complete(
                         regularization=opts.regularization,
                         chunk_size=opts.sgd_chunk_size,
                         rng=rng,
+                        workspace=sgd_workspace,
                     )
                     learn_rate *= opts.learn_rate_decay
                 else:  # ccd

@@ -9,10 +9,17 @@ SPLATT's HPC formulation processes entries in random order with a step
 size decayed per epoch; in shared memory the updates race benignly
 ("HogWild"-style), which is also how we vectorize them here: the epoch is
 processed in shuffled **chunks**, with each chunk's gradient contributions
-scatter-added (``np.add.at``) using the factor state at the chunk start.
-Chunked HogWild is semantically the mini-batch limit of the same
-algorithm; ``chunk_size=1`` recovers the strict sequential method (used in
-tests for gradient verification).
+scatter-added using the factor state at the chunk start.  Chunked HogWild
+is semantically the mini-batch limit of the same algorithm;
+``chunk_size=1`` recovers the strict sequential method (used in tests for
+gradient verification).
+
+The scatter-add goes through :mod:`repro.mttkrp.scatter`'s segment-sum
+machinery (stable sort + ``reduceat``) rather than ``np.add.at``: a batch's
+duplicate rows are pre-reduced in their original order, so the result
+matches the element-at-a-time scatter to summation rounding while running
+at vectorized speed, and every intermediate lands in a :class:`Workspace`
+reused across the epoch's batches.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import numpy as np
 
 from repro._util import VALUE_DTYPE, as_rng
 from repro.completion.losses import predict_entries
+from repro.mttkrp.scatter import RowScatter, Workspace
 from repro.tensor.coo import SparseTensor
 
 __all__ = ["sgd_epoch"]
@@ -34,6 +42,7 @@ def sgd_epoch(
     regularization: float = 1e-2,
     chunk_size: int = 256,
     rng: np.random.Generator | int | None = None,
+    workspace: Workspace | None = None,
 ) -> None:
     """One SGD epoch over all observed entries, updating in place.
 
@@ -48,11 +57,16 @@ def sgd_epoch(
         the chunk-start factor state.
     rng:
         Shuffle source; pass the driver's generator for reproducibility.
+    workspace:
+        Scratch-buffer arena for the per-batch scatter; pass a persistent
+        one (the completion driver does) so steady-state epochs reuse the
+        same buffers instead of reallocating per batch.
     """
     if learn_rate <= 0:
         raise ValueError("learn_rate must be positive")
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
+    ws = workspace if workspace is not None else Workspace()
     generator = as_rng(rng)
     order = generator.permutation(tensor.nnz)
     coords = tensor.coords
@@ -78,5 +92,12 @@ def sgd_epoch(
         for m in range(nmodes - 1, -1, -1):
             h = prefixes[m] * suffix
             grad = err[:, None] * h - regularization * rows[m]
-            np.add.at(factors[m], c[:, m], learn_rate * grad)
+            grad *= learn_rate
+            # Batch rows change every chunk (shuffled), so the scatter
+            # structure is built per batch; its sort is stable, keeping
+            # each row's update order, and the segment reduction plus all
+            # gathers run in reused workspace buffers.
+            RowScatter(c[:, m], tag=("sgd",)).scatter_accumulate(
+                factors[m], grad, ws
+            )
             suffix = suffix * rows[m]

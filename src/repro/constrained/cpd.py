@@ -155,7 +155,10 @@ def constrained_cp_als(
             grams[mode] = gram(factors[mode])
             last_mttkrp = m_out
 
-        assert last_mttkrp is not None
+        if last_mttkrp is None:  # zero-mode tensors cannot reach the sweep
+            raise RuntimeError(
+                "constrained CP-ALS sweep updated no modes; cannot compute fit"
+            )
         fits.append(_fit(xnorm2, factors, last_mttkrp, grams))
         iterations = it + 1
         if tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < tolerance:

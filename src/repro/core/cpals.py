@@ -257,7 +257,10 @@ def cp_als(
                         grams[mode] = gram(new_factor)
                     last_mttkrp = m_out
 
-                assert last_mttkrp is not None
+                if last_mttkrp is None:  # zero-mode tensors never reach here
+                    raise RuntimeError(
+                        "CP-ALS sweep updated no modes; cannot compute fit"
+                    )
                 with timers.time("cpd_fit"):
                     fit = calc_fit(xnorm2, lam, factors, last_mttkrp, grams=grams)
             fits.append(fit)

@@ -169,7 +169,11 @@ class CsfSet:
                 return tree, "internal"
             if best is None:
                 best = (tree, "leaf")
-        assert best is not None
+        if best is None:  # only possible on a CsfSet with no trees
+            raise RuntimeError(
+                f"CsfSet has no tree that can serve mode {mode}: the set is "
+                "empty or was built inconsistently"
+            )
         return best
 
 

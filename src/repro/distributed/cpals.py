@@ -164,7 +164,10 @@ def distributed_cp_als(
 
             last_mttkrp = m_global
 
-        assert last_mttkrp is not None
+        if last_mttkrp is None:  # zero-mode tensors cannot reach the sweep
+            raise RuntimeError(
+                "distributed CP-ALS sweep updated no modes; cannot compute fit"
+            )
         fits.append(calc_fit(xnorm2, lam, factors, last_mttkrp, grams=grams))
         iterations = it + 1
         if tolerance > 0 and it > 0 and abs(fits[-1] - fits[-2]) < tolerance:

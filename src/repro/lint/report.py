@@ -1,0 +1,82 @@
+"""Finding renderers: human-readable text and deterministic JSON.
+
+The JSON report is a pure function of the linted sources and the config —
+no timestamps, no absolute paths, keys sorted, findings sorted by
+``(path, line, col, rule)`` — so two runs over the same tree are
+**byte-identical** (the determinism the test suite pins down, same
+contract as the sanitizer's schedule-independent fingerprints).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from repro.lint.engine import RULES, Finding
+
+__all__ = ["render_text", "render_json", "summarize", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+
+
+def summarize(findings: Sequence[Finding]) -> dict:
+    """Counts by disposition and by rule (active findings only)."""
+    active = [f for f in findings if not f.suppressed]
+    by_rule: dict[str, int] = {}
+    for f in active:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    return {
+        "files_with_findings": len({f.path for f in findings}),
+        "active": len(active),
+        "suppressed": len(findings) - len(active),
+        "by_rule": dict(sorted(by_rule.items())),
+    }
+
+
+def render_text(findings: Sequence[Finding], *, show_suppressed: bool = False) -> str:
+    """One line per finding plus a summary, grep-friendly."""
+    lines: list[str] = []
+    shown = [f for f in findings if show_suppressed or not f.suppressed]
+    for f in shown:
+        mark = "allowed" if f.suppressed else "error"
+        lines.append(f"{f.path}:{f.line}:{f.col}: {mark} [{f.rule}] {f.message}")
+        if f.snippet:
+            lines.append(f"    {f.snippet}")
+        if f.suppressed and f.reason:
+            lines.append(f"    reason: {f.reason}")
+    s = summarize(findings)
+    if s["active"]:
+        per_rule = ", ".join(f"{k}×{v}" for k, v in s["by_rule"].items())
+        lines.append(
+            f"repro.lint: {s['active']} finding(s) ({per_rule}); "
+            f"{s['suppressed']} suppressed"
+        )
+    else:
+        lines.append(
+            f"repro.lint: clean ({s['suppressed']} suppressed finding(s) "
+            "carry written reasons)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """The deterministic JSON report (see module docstring)."""
+    obj = {
+        "version": REPORT_VERSION,
+        "tool": "repro.lint",
+        "summary": summarize(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(obj, indent=2, sort_keys=True) + "\n"
+
+
+def render_rule_catalog(rule_ids: Iterable[str] | None = None) -> str:
+    """``--list-rules`` output: id, category, paper mapping, summary."""
+    ids = sorted(rule_ids) if rule_ids is not None else sorted(RULES)
+    lines = []
+    for rid in ids:
+        rule = RULES[rid]
+        paper = f" [{rule.paper}]" if rule.paper else ""
+        lines.append(f"{rid:<22} {rule.category:<8}{paper}")
+        lines.append(f"    {rule.summary}")
+    return "\n".join(lines) + "\n"

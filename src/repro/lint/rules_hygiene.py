@@ -1,0 +1,68 @@
+"""Hygiene rules: generic Python footguns that ride along with the lint.
+
+Unlike the perf/runtime rules these have no paper mapping — they exist
+because the failure modes they catch (swallowed KeyboardInterrupt, state
+shared between calls) are disproportionately painful in a codebase whose
+tests lean on reproducibility.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleView, Rule, register
+
+
+def _check_bare_except(mod: ModuleView) -> Iterator[tuple[ast.AST, str]]:
+    for node in mod.walk(ast.ExceptHandler):
+        if node.type is None:
+            yield node, (
+                "bare 'except:' swallows SystemExit/KeyboardInterrupt too — "
+                "catch a concrete exception type (or 'Exception' with a "
+                "comment saying why)"
+            )
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "Counter"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+def _check_mutable_default(mod: ModuleView) -> Iterator[tuple[ast.AST, str]]:
+    for fn in mod.walk(ast.FunctionDef, ast.AsyncFunctionDef):
+        args = fn.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_default(default):
+                yield default, (
+                    f"mutable default argument in {fn.name}(): the object is "
+                    "shared across calls — default to None and create it in "
+                    "the body"
+                )
+
+
+register(Rule(
+    id="bare-except",
+    category="hygiene",
+    summary="bare 'except:' clause (swallows SystemExit/KeyboardInterrupt)",
+    check=_check_bare_except,
+))
+
+register(Rule(
+    id="mutable-default-arg",
+    category="hygiene",
+    summary="mutable default argument shared across calls",
+    check=_check_mutable_default,
+))

@@ -1,0 +1,176 @@
+"""Runtime-discipline rules: the concurrency contracts of PRs 1–4.
+
+The simulated Chapel runtime (``repro.runtime``), the tracer
+(``repro.observe``) and the sanitizer (``repro.sanitize``) are *built on*
+:mod:`threading`; everything else must go through them, or the dynamic
+tooling (span nesting, vector clocks, lock accounting) silently loses
+sight of the concurrency it is supposed to certify.  These rules make
+that discipline static.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleView, Rule, register
+
+_THREAD_MODULES = ("threading", "_thread")
+
+
+def _check_raw_threading(mod: ModuleView) -> Iterator[tuple[ast.AST, str]]:
+    if mod.matches(mod.config.threading_allow):
+        return
+    for node in mod.walk(ast.Import):
+        for alias in node.names:
+            if alias.name.split(".")[0] in _THREAD_MODULES:
+                yield node, (
+                    f"direct 'import {alias.name}' outside the runtime "
+                    "allowlist: task parallelism must go through "
+                    "repro.runtime (tasking layers, locks, pool) so the "
+                    "observe spans and sanitize clocks see it"
+                )
+    for node in mod.walk(ast.ImportFrom):
+        if node.module and node.module.split(".")[0] in _THREAD_MODULES:
+            yield node, (
+                f"direct 'from {node.module} import ...' outside the runtime "
+                "allowlist: use repro.runtime primitives instead"
+            )
+
+
+def _enclosing_function(mod: ModuleView, node: ast.AST):
+    for a in mod.ancestors(node):
+        if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return a
+    return None
+
+
+def _receiver_dump(call: ast.Call) -> str | None:
+    f = call.func
+    if isinstance(f, ast.Attribute):
+        return ast.dump(f.value)
+    return None
+
+
+def _check_lock_no_finally(mod: ModuleView) -> Iterator[tuple[ast.AST, str]]:
+    """Statement-level ``X.acquire(...)`` must be immediately followed by a
+    ``try:`` whose ``finally:`` releases the same receiver.
+
+    Lock *implementations* are exempt: ``__enter__`` bodies (the matching
+    ``__exit__`` releases) and functions themselves named
+    ``acquire``/``release``.  Acquires used as expressions (spin loops,
+    ``if not lock.acquire(blocking=False):``) are not statically checkable
+    and are left to the dynamic sanitizer.
+    """
+    for stmt in mod.walk(ast.Expr):
+        call = stmt.value
+        if not (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "acquire"):
+            continue
+        fn = _enclosing_function(mod, stmt)
+        if fn is not None and fn.name in ("__enter__", "__exit__",
+                                          "acquire", "release"):
+            continue
+        receiver = _receiver_dump(call)
+        nxt = mod.next_sibling(stmt)
+        ok = False
+        if isinstance(nxt, ast.Try) and nxt.finalbody:
+            for fin in ast.walk(ast.Module(body=list(nxt.finalbody),
+                                           type_ignores=[])):
+                if (isinstance(fin, ast.Call)
+                        and isinstance(fin.func, ast.Attribute)
+                        and fin.func.attr == "release"
+                        and _receiver_dump(fin) == receiver):
+                    ok = True
+                    break
+        if not ok:
+            yield stmt, (
+                "acquire without an immediately-following try/finally "
+                "release on the same lock: an exception between acquire and "
+                "release deadlocks every later bucket (use 'pool.acquire(l); "
+                "try: ... finally: pool.release(l)' or a with-block)"
+            )
+
+
+def _with_context_names(scope: ast.AST) -> set[str]:
+    """Names used as with-contexts anywhere inside ``scope``."""
+    names: set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Name):
+                    names.add(item.context_expr.id)
+    return names
+
+
+def _check_span_no_ctx(mod: ModuleView) -> Iterator[tuple[ast.AST, str]]:
+    """Every ``*.span(...)`` call must be governed by a ``with`` — either
+    directly (``with _obs.span(...):``) or via a name that is entered in
+    the same scope (``run_span = _obs.span(...)`` … ``with run_span:``).
+
+    A span opened without ``with`` never closes on an exception, corrupting
+    the trace's nesting for the rest of the run.
+    """
+    for node in mod.walk(ast.Call):
+        if not (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"):
+            continue
+        parent = mod.parent(node)
+        if isinstance(parent, ast.withitem) and parent.context_expr is node:
+            continue
+        if (isinstance(parent, ast.Assign)
+                and len(parent.targets) == 1
+                and isinstance(parent.targets[0], ast.Name)):
+            scope = _enclosing_function(mod, node) or mod.tree
+            if parent.targets[0].id in _with_context_names(scope):
+                continue
+        yield node, (
+            "observe span opened outside a with-block: the span leaks "
+            "open on any exception and corrupts trace nesting — use "
+            "'with _obs.span(...):' (or bind it and 'with run_span:')"
+        )
+
+
+def _check_assert_invariant(mod: ModuleView) -> Iterator[tuple[ast.AST, str]]:
+    for node in mod.walk(ast.Assert):
+        yield node, (
+            "bare assert guards a runtime invariant in library code: "
+            "'python -O' strips it silently — raise RuntimeError/ValueError "
+            "with a message instead (keep asserts in tests only)"
+        )
+
+
+register(Rule(
+    id="raw-threading",
+    category="runtime",
+    summary="direct threading/_thread use outside the simulated runtime, "
+            "observe, sanitize and resilience layers",
+    paper="§III (tasking layers) — all parallelism goes through the runtime",
+    check=_check_raw_threading,
+))
+
+register(Rule(
+    id="lock-no-finally",
+    category="runtime",
+    summary="statement-level lock/pool acquire without an immediate "
+            "try/finally release of the same receiver",
+    paper="Fig 4 (mutex-pool scatter discipline)",
+    check=_check_lock_no_finally,
+))
+
+register(Rule(
+    id="span-no-ctx",
+    category="runtime",
+    summary="observe span opened outside a with-block (leaks open on "
+            "exceptions, corrupting trace nesting)",
+    check=_check_span_no_ctx,
+))
+
+register(Rule(
+    id="assert-invariant",
+    category="runtime",
+    summary="bare assert guarding a runtime invariant in library code "
+            "(silently stripped by python -O)",
+    check=_check_assert_invariant,
+))

@@ -187,7 +187,25 @@ def root_range_vectorized(
         return
     ranges = _level_ranges(csf, lo, hi) if trav is None else trav.ranges
     if csf.nmodes == 1:
-        np.add.at(out, csf.fids[0][lo:hi], csf.values[lo:hi, None])
+        # Order-1 tree: the root is also the leaf, so the "subtree product"
+        # is just the nonzero values broadcast across the rank.  Root fids
+        # are distinct, so a direct indexed add replaces the old
+        # element-at-a-time np.add.at; the rank-wide broadcast temporary
+        # comes from the plan-owned workspace like the other kernels.
+        rows = csf.fids[0][lo:hi] if trav is None else trav.fids[0]
+        vals = csf.values[lo:hi] if trav is None else trav.values
+        if ws is None:
+            contribs = np.broadcast_to(
+                vals[:, None], (vals.shape[0], out.shape[1])
+            )
+        else:
+            contribs = ws.buf(("root_bcast",), (vals.shape[0], out.shape[1]),
+                              out.dtype)
+            contribs[:] = vals[:, None]
+        out[rows] += contribs
+        san = _san._active
+        if san is not None:
+            san.on_access(out, rows, write=True, site="root_range_vectorized")
         return
     w = _upward_product(csf, factors, ranges, stop_level=0, trav=trav, ws=ws)
     rows = csf.fids[0][lo:hi] if trav is None else trav.fids[0]
@@ -434,7 +452,7 @@ def run_scatter_mutex(
     ntasks = layer.env.num_tasks
     bounds = plan.bounds if plan is not None else nnz_balanced_blocks(csf, ntasks)
 
-    def task(tid: int) -> None:
+    def task(tid: int) -> None:  # reprolint: allow(hot-loop-alloc, raw-scatter) — plan-less mutex fallback kept verbatim so plan/no-plan equivalence tests compare identical lock traffic
         rows, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]), tid)
         if plan is not None:
             ws = workspaces[tid] if workspaces is not None else None

@@ -46,7 +46,7 @@ sites whose rows change every call (TTMc chunks, one-off scatters).
 from __future__ import annotations
 
 import itertools
-import threading
+import threading  # reprolint: allow(raw-threading) — generation-token cache lock only; no task parallelism originates here
 import weakref
 
 import numpy as np
@@ -367,7 +367,7 @@ class TaskTraversal:
             plo, phi = ranges[level - 1]
             spans = np.diff(csf.fptr[level - 1][plo : phi + 1])
             self.down_expand.append(
-                np.repeat(np.arange(phi - plo, dtype=np.intp), spans)
+                np.repeat(np.arange(phi - plo, dtype=np.intp), spans)  # reprolint: allow(hot-loop-alloc) — one-time plan construction in TaskTraversal.__init__, amortized over every later call
             )
         self.fids = [csf.fids[level][ranges[level][0] : ranges[level][1]] for level in range(nmodes)]
         self.values = csf.values[ranges[nmodes - 1][0] : ranges[nmodes - 1][1]]
@@ -595,7 +595,7 @@ class MttkrpContext:
         key = (self._tree_key(tree), level, ntasks, tuple(shape))
         bufs = self._buffers.get(key)
         if bufs is None:
-            bufs = [np.zeros(shape, dtype=VALUE_DTYPE) for _ in range(ntasks)]
+            bufs = [np.zeros(shape, dtype=VALUE_DTYPE) for _ in range(ntasks)]  # reprolint: allow(hot-loop-alloc) — first-miss privatization buffers, cached in self._buffers for the tensor's lifetime
             self._buffers[key] = bufs
         return bufs
 

@@ -89,7 +89,7 @@ def _check_third_order(csf: CsfTensor, variant: str) -> None:
         )
 
 
-def _root_slicing(csf, factors, out, lo, hi, lock_row=None):
+def _root_slicing(csf, factors, out, lo, hi, lock_row=None):  # reprolint: allow(hot-loop-alloc, row-slice-copy) — deliberate naive-port exhibit of the paper's Figs 2–3 anti-patterns
     """Naive-port root kernel: copying row 'slices', no in-place updates."""
     a_mode, b_mode, c_mode = csf.dim_perm
     b_mat, c_mat = factors[b_mode], factors[c_mode]
@@ -163,7 +163,7 @@ def _root_pointer(csf, factors, out, lo, hi, lock_row=None):
         out_flat[off : off + rank] += accum
 
 
-def _internal_slicing(csf, factors, out, lo, hi, lock_row=None):
+def _internal_slicing(csf, factors, out, lo, hi, lock_row=None):  # reprolint: allow(hot-loop-alloc, row-slice-copy) — deliberate naive-port exhibit of the paper's Figs 2–3 anti-patterns
     """Naive-port internal kernel (output rows at level 1; may need locks)."""
     a_mode, b_mode, c_mode = csf.dim_perm
     a_mat, c_mat = factors[a_mode], factors[c_mode]
@@ -238,7 +238,7 @@ def _internal_pointer(csf, factors, out, lo, hi, lock_row=None):
                     out_flat[off : off + rank] += fib
 
 
-def _leaf_slicing(csf, factors, out, lo, hi, lock_row=None):
+def _leaf_slicing(csf, factors, out, lo, hi, lock_row=None):  # reprolint: allow(hot-loop-alloc, row-slice-copy) — deliberate naive-port exhibit of the paper's Figs 2–3 anti-patterns
     """Naive-port leaf kernel (output rows at the leaf level)."""
     a_mode, b_mode, c_mode = csf.dim_perm
     a_mat, b_mat = factors[a_mode], factors[b_mode]
@@ -361,7 +361,7 @@ def _run_interpreted(
         return
 
     # privatization: thread-local outputs + parallel reduction
-    buffers = [np.zeros_like(out) for _ in range(ntasks)]
+    buffers = [np.zeros_like(out) for _ in range(ntasks)]  # reprolint: allow(hot-loop-alloc) — interpreted ladder is deliberately unamortized; the amortized path lives in csf_kernels
 
     def task(tid: int) -> None:
         kernel(csf, factors, buffers[tid], int(bounds[tid]), int(bounds[tid + 1]))

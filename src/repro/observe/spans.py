@@ -91,7 +91,7 @@ def span(name: str, **attrs: Any):
     rec = _active
     if rec is None:
         return NULL_SPAN
-    return rec.span(name, attrs)
+    return rec.span(name, attrs)  # reprolint: allow(span-no-ctx) — span() is the factory; every call site enters the returned context manager
 
 
 def count(name: str, n: int | float = 1) -> None:

@@ -259,5 +259,10 @@ def simulate_cpals(
         "cpd_fit": fit,
         "inverse": inverse,
     }
-    assert set(seconds) == set(ROUTINES)
+    if set(seconds) != set(ROUTINES):
+        raise RuntimeError(
+            f"simulated routine set {sorted(seconds)} does not match "
+            f"ROUTINES {sorted(ROUTINES)}; update simulate() alongside the "
+            "routine catalog"
+        )
     return SimulatedRun(stats=stats, config=config, seconds=seconds, locked_modes=tuple(locked))

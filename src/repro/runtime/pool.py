@@ -114,7 +114,11 @@ class _Worker:
                 self._done.set()
                 return
             try:
-                assert self._body is not None
+                if self._body is None:
+                    raise RuntimeError(
+                        f"pool worker {self._tid} woken without a body: "
+                        "dispatch/shutdown protocol violated"
+                    )
                 self._body(self._tid)
             except BaseException as exc:  # noqa: BLE001 - surfaced by dispatch()
                 self.error = exc

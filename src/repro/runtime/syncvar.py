@@ -102,7 +102,7 @@ class SyncVar(Generic[T]):
                 self._cond.release()
                 self.counters.add(task_yields=1)
                 time.sleep(0)
-                self._cond.acquire()
+                self._cond.acquire()  # reprolint: allow(lock-no-finally) — re-acquire of the condition's own lock inside its yield loop; the enclosing 'with self._cond' owns the release
         if waiting:
             san.wait_end(self._san_key())
 

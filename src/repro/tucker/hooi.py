@@ -83,7 +83,7 @@ class TuckerResult:
         ).reshape(coords.shape[0], -1)
         shape = list(self.core.shape)
         for m, u in enumerate(self.factors):
-            rows = u[coords[:, m]]  # (k, R_m)
+            rows = u[coords[:, m]]  # reprolint: allow(row-slice-copy) — (k, R_m) gather; prediction coords change every call, no invariant layout to plan
             acc = acc.reshape(coords.shape[0], shape[0], -1)
             acc = np.einsum("kr,krj->kj", rows, acc)
             shape = shape[1:]
@@ -230,7 +230,10 @@ def tucker_hooi(
                     factors[mode] = np.ascontiguousarray(u[:, : ranks[mode]], dtype=VALUE_DTYPE)
                     y_last = y
 
-            assert y_last is not None
+            if y_last is None:  # zero-mode tensors never reach the sweep
+                raise RuntimeError(
+                    "HOOI sweep produced no TTMc result; cannot form the core"
+                )
             # core from the last mode's TTMc: G_(N-1) = U_{N-1}^T Y
             last = nmodes - 1
             core_unf = factors[last].T @ y_last  # (R_last, prod others)

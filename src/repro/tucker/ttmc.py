@@ -75,10 +75,10 @@ def ttmc(
             c = coords[sl]
             # Kronecker of factor rows, highest remaining mode first so the
             # lowest remaining mode's index varies fastest in the flat column.
-            acc = values[sl, None].copy()  # (chunk, 1)
+            acc = values[sl, None].copy()  # reprolint: allow(row-slice-copy) — (chunk, 1) Kronecker seed; acc grows R_m-fold per mode so it cannot share a buffer
             for m in reversed(rest):
-                rows = factors[m][c[:, m]]  # (chunk, R_m)
-                acc = (acc[:, :, None] * rows[:, None, :]).reshape(acc.shape[0], -1)
+                rows = factors[m][c[:, m]]  # reprolint: allow(row-slice-copy) — (chunk, R_m) gather; chunk coords change every call, nothing invariant to plan
+                acc = (acc[:, :, None] * rows[:, None, :]).reshape(acc.shape[0], -1)  # reprolint: allow(hot-loop-alloc) — output width grows each mode; a fixed workspace buffer cannot hold it
             # chunk rows change every call, so use the one-shot segmented
             # scatter rather than a cached plan
             sorted_scatter_add(out, c[:, mode], acc)

@@ -1,0 +1,7 @@
+"""Clean rewrite: a real exception python -O cannot strip."""
+
+
+def first_factor(factors):
+    if not factors:
+        raise ValueError("need at least one factor")
+    return factors[0]

@@ -1,0 +1,6 @@
+"""Positive control: a bare assert guarding a runtime invariant."""
+
+
+def first_factor(factors):
+    assert factors, "need at least one factor"
+    return factors[0]

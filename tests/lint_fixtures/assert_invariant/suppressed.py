@@ -1,0 +1,6 @@
+"""Suppressed variant: the assert stays, with a written reason."""
+
+
+def first_factor(factors):
+    assert factors, "need at least one factor"  # reprolint: allow(assert-invariant) — fixture: exercising the allowance mechanism itself
+    return factors[0]

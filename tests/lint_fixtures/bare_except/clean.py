@@ -1,0 +1,9 @@
+"""Clean rewrite: catch the concrete failure mode only."""
+
+
+def read_or_none(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return fh.read()
+    except OSError:
+        return None

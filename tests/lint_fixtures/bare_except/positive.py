@@ -1,0 +1,9 @@
+"""Positive control: a bare except swallowing every exception."""
+
+
+def read_or_none(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return fh.read()
+    except:
+        return None

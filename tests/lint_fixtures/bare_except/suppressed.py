@@ -1,0 +1,9 @@
+"""Suppressed variant: the bare except stays, with a written reason."""
+
+
+def read_or_none(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return fh.read()
+    except:  # reprolint: allow(bare-except) — fixture: exercising the allowance mechanism itself
+        return None

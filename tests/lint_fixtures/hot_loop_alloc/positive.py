@@ -1,0 +1,13 @@
+"""Positive control: per-iteration allocations in a hot kernel module.
+
+Linted as ``repro/mttkrp/fixture.py`` so the perf rules are in scope.
+Never imported — parsed only.
+"""
+import numpy as np
+
+
+def accumulate(fids, vals, out):
+    for lo in range(0, len(fids), 64):
+        scratch = np.zeros((64, out.shape[1]))
+        contribs = vals[lo:lo + 64, None] * scratch
+        out[lo:lo + 64] += contribs

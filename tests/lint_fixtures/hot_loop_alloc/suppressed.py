@@ -1,0 +1,9 @@
+"""Suppressed variant: same anti-pattern, reasoned inline allowances."""
+import numpy as np
+
+
+def accumulate(fids, vals, out):
+    for lo in range(0, len(fids), 64):
+        scratch = np.zeros((64, out.shape[1]))  # reprolint: allow(hot-loop-alloc) — fixture: exercising the allowance mechanism itself
+        contribs = vals[lo:lo + 64, None] * scratch  # reprolint: allow(hot-loop-alloc) — fixture: exercising the allowance mechanism itself
+        out[lo:lo + 64] += contribs

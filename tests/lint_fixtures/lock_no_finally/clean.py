@@ -1,0 +1,9 @@
+"""Clean rewrite: the release is guaranteed by a finally block."""
+
+
+def bucket_update(pool, lid, out, rows, contribs):
+    pool.acquire(lid)
+    try:
+        out[rows] += contribs
+    finally:
+        pool.release(lid)

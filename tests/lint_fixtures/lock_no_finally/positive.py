@@ -1,0 +1,7 @@
+"""Positive control: acquire with no try/finally around the update."""
+
+
+def bucket_update(pool, lid, out, rows, contribs):
+    pool.acquire(lid)
+    out[rows] += contribs
+    pool.release(lid)

@@ -1,0 +1,5 @@
+"""Meta fixture: a file that does not parse."""
+
+
+def broken(:
+    return

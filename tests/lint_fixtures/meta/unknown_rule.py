@@ -1,0 +1,5 @@
+"""Meta fixture: a suppression naming a rule id that does not exist."""
+
+
+def nothing_wrong_here():
+    return 0  # reprolint: allow(not-a-real-rule) — fixture: unknown id must be reported

@@ -1,0 +1,5 @@
+"""Meta fixture: a reasoned suppression that silences nothing is stale."""
+
+
+def nothing_wrong_here():
+    return 0  # reprolint: allow(assert-invariant) — fixture: stale allowance must be reported

@@ -1,0 +1,8 @@
+"""Clean rewrite: None sentinel, fresh container per call."""
+
+
+def extend(item, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(item)
+    return seen

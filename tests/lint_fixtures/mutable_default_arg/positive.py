@@ -1,0 +1,17 @@
+"""Positive control: mutable containers as default arguments."""
+from collections import defaultdict
+
+
+def extend(item, seen=[]):
+    seen.append(item)
+    return seen
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def group(key, value, groups=defaultdict(list)):
+    groups[key].append(value)
+    return groups

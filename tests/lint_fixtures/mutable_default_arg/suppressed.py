@@ -1,0 +1,6 @@
+"""Suppressed variant: the shared default stays, with a written reason."""
+
+
+def extend(item, seen=[]):  # reprolint: allow(mutable-default-arg) — fixture: exercising the allowance mechanism itself
+    seen.append(item)
+    return seen

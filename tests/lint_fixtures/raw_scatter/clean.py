@@ -1,0 +1,7 @@
+"""Clean rewrite: the segment-sum scatter from repro.mttkrp.scatter."""
+from repro.mttkrp.scatter import sorted_scatter_add
+
+
+def sgd_batches(out, rows, contribs):
+    for start in range(0, rows.size, 128):
+        sorted_scatter_add(out, rows[start:start + 128], contribs[start:start + 128])

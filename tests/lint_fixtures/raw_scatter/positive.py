@@ -1,0 +1,10 @@
+"""Positive control: np.add.at scatter inside a batch loop.
+
+Linted as ``repro/completion/fixture.py`` so the scatter rule is in scope.
+"""
+import numpy as np
+
+
+def sgd_batches(out, rows, contribs):
+    for start in range(0, rows.size, 128):
+        np.add.at(out, rows[start:start + 128], contribs[start:start + 128])

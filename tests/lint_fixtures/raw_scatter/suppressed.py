@@ -1,0 +1,7 @@
+"""Suppressed variant: the scatter stays, with a written reason."""
+import numpy as np
+
+
+def sgd_batches(out, rows, contribs):
+    for start in range(0, rows.size, 128):
+        np.add.at(out, rows[start:start + 128], contribs[start:start + 128])  # reprolint: allow(raw-scatter) — fixture: exercising the allowance mechanism itself

@@ -1,0 +1,8 @@
+"""Clean rewrite: parallelism through the simulated runtime."""
+from repro.runtime.accounting import CostCounters
+from repro.runtime.tasking import make_tasking_layer
+
+
+def run(body, env=None):
+    layer = make_tasking_layer(env, CostCounters())
+    layer.coforall(2, body)

@@ -1,0 +1,10 @@
+"""Positive control: direct threading use outside the runtime layers."""
+import threading
+from threading import Lock
+
+
+def run(body):
+    t = threading.Thread(target=body, daemon=True)
+    t.start()
+    t.join()
+    return Lock()

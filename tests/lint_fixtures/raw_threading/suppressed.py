@@ -1,0 +1,10 @@
+"""Suppressed variant: the imports stay, each with a written reason."""
+import threading  # reprolint: allow(raw-threading) — fixture: exercising the allowance mechanism itself
+from threading import Lock  # reprolint: allow(raw-threading) — fixture: exercising the allowance mechanism itself
+
+
+def run(body):
+    t = threading.Thread(target=body, daemon=True)
+    t.start()
+    t.join()
+    return Lock()

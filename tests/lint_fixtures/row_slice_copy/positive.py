@@ -1,0 +1,8 @@
+"""Positive control: row slice-copies and fancy gathers in a hot loop."""
+
+
+def gather(a_mat, c_mat, fids, coords, out):
+    for s in range(len(fids)):
+        arow = a_mat[fids[s], :].copy()
+        rows = c_mat[coords[:, 1]]
+        out[s] += arow[0] + rows.sum()

@@ -1,0 +1,8 @@
+"""Suppressed variant: a def-line allowance scoping to the whole body."""
+
+
+def gather(a_mat, c_mat, fids, coords, out):  # reprolint: allow(row-slice-copy) — fixture: def-line suppression covers every finding in the body
+    for s in range(len(fids)):
+        arow = a_mat[fids[s], :].copy()
+        rows = c_mat[coords[:, 1]]
+        out[s] += arow[0] + rows.sum()

@@ -1,0 +1,13 @@
+"""Clean rewrite: both sanctioned forms — direct with, and bind-then-with."""
+from repro.observe import spans as _obs
+
+
+def timed(n):
+    with _obs.span("fixture.timed", n=n):
+        return sum(range(n))
+
+
+def timed_bound(n):
+    run_span = _obs.span("fixture.timed_bound", n=n)
+    with run_span:
+        return sum(range(n))

@@ -1,0 +1,8 @@
+"""Positive control: a span bound to a name that is never entered."""
+from repro.observe import spans as _obs
+
+
+def timed(n):
+    sp = _obs.span("fixture.timed", n=n)
+    total = sum(range(n))
+    return total, sp

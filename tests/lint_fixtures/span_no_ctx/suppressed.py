@@ -1,0 +1,8 @@
+"""Suppressed variant: the leak stays, with a written reason."""
+from repro.observe import spans as _obs
+
+
+def timed(n):
+    sp = _obs.span("fixture.timed", n=n)  # reprolint: allow(span-no-ctx) — fixture: exercising the allowance mechanism itself
+    total = sum(range(n))
+    return total, sp
