@@ -1,0 +1,269 @@
+"""The packed-kernel algorithms, written once in a Numba-compilable subset.
+
+These functions are the *single source of truth* for the compiled MTTKRP
+range kernels, the segment-sum scatter primitives and symmetric AᵀA.  The
+``numba`` backend compiles **these exact functions** with ``@njit`` (see
+:mod:`repro.backend.numba_jit`); the ``cext`` backend is a line-for-line C
+translation of them (:mod:`repro.backend.cext`).  Because the Python text
+here is what Numba compiles, the unit tests that run these functions
+uninterpreted (slow, but exact) certify the algorithm the JIT will execute
+even on machines where Numba is not installed.
+
+Data layout (see :mod:`repro.backend.packing`): the CSF tree arrives as
+flat concatenated ``int64`` arrays (``fptr_cat``/``fptr_off``,
+``fids_cat``/``fids_off``), the factor matrices as one packed C-contiguous
+``float64`` matrix with per-level row offsets (``row_off``).  Flat arrays
+keep the compiled signatures *order-independent*: one JIT specialization
+covers tensors of any order, so warm-up compiles each kernel exactly once.
+
+Algorithm: a single linear scan over the task's leaves with one running
+accumulator per tree level and an upward "cascade" that fires whenever a
+node's child range is exhausted.  This fuses the multi-pass NumPy
+up/downward products (gather → multiply → segment-reduce per level) into
+one pass over ``nnz`` with O(nmodes·R) state — the layout-aware compiled
+formulation the ALTO line of work identifies as where the wins live.  The
+cascade is well-defined because CSF guarantees no zero-child nodes
+(``CsfTensor._validate`` rejects non-strictly-increasing ``fptr``).
+
+Mathematically each kernel matches its vectorized counterpart in
+:mod:`repro.mttkrp.csf_kernels` exactly (same products, same
+subtree-before-sibling accumulation order up to summation rounding), so
+results agree to ``allclose`` at 1e-10 — asserted across the whole
+equivalence suite.
+
+Every kernel writes a caller-allocated ``out`` and returns ``None``; no
+kernel allocates per-``nnz`` temporaries, so per-task workspace arenas keep
+the steady state allocation-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "root_kernel",
+    "internal_kernel",
+    "leaf_kernel",
+    "segment_sum_kernel",
+    "gather_segment_sum_kernel",
+    "ata_kernel",
+]
+
+
+def root_kernel(fptr_cat, fptr_off, fids_cat, fids_off, values,
+                packed, row_off, nmodes, lo, hi, out):
+    """Root-mode subtree products for root slices ``[lo, hi)``.
+
+    ``out[i]`` receives the full upward product of root node ``lo + i``
+    (all levels below the root multiplied in; the root factor excluded),
+    matching ``_upward_product(..., stop_level=0)``.
+    """
+    rank = packed.shape[1]
+    last = nmodes - 1
+    lo_l = np.empty(nmodes, np.int64)
+    hi_l = np.empty(nmodes, np.int64)
+    lo_l[0] = lo
+    hi_l[0] = hi
+    for l in range(last):
+        lo_l[l + 1] = fptr_cat[fptr_off[l] + lo_l[l]]
+        hi_l[l + 1] = fptr_cat[fptr_off[l] + hi_l[l]]
+    acc = np.zeros((last, rank), np.float64)
+    ptr = np.empty(nmodes, np.int64)
+    for l in range(nmodes):
+        ptr[l] = lo_l[l]
+    for z in range(lo_l[last], hi_l[last]):
+        fr = row_off[last] + fids_cat[fids_off[last] + z]
+        v = values[z]
+        for r in range(rank):
+            acc[last - 1, r] += v * packed[fr, r]
+        # cascade: close every node whose child range just ended
+        pos = z + 1
+        l = last - 1
+        while pos == fptr_cat[fptr_off[l] + ptr[l] + 1]:
+            if l == 0:
+                i = ptr[0] - lo
+                for r in range(rank):
+                    out[i, r] = acc[0, r]
+                    acc[0, r] = 0.0
+                ptr[0] += 1
+                break
+            fr2 = row_off[l] + fids_cat[fids_off[l] + ptr[l]]
+            for r in range(rank):
+                acc[l - 1, r] += acc[l, r] * packed[fr2, r]
+                acc[l, r] = 0.0
+            ptr[l] += 1
+            pos = ptr[l]
+            l -= 1
+
+
+def internal_kernel(fptr_cat, fptr_off, fids_cat, fids_off, values,
+                    packed, row_off, nmodes, level, lo, hi, out):
+    """Internal-mode contributions at tree ``level`` (0 < level < nmodes-1).
+
+    ``out`` has one row per ``level`` node under root slices ``[lo, hi)``:
+    the upward product of the node's subtree times the downward product of
+    its ancestors' factor rows, the ``level`` factor itself excluded —
+    matching ``internal_range_vectorized``'s ``d * u``.
+    """
+    rank = packed.shape[1]
+    last = nmodes - 1
+    lo_l = np.empty(nmodes, np.int64)
+    hi_l = np.empty(nmodes, np.int64)
+    lo_l[0] = lo
+    hi_l[0] = hi
+    for l in range(last):
+        lo_l[l + 1] = fptr_cat[fptr_off[l] + lo_l[l]]
+        hi_l[l + 1] = fptr_cat[fptr_off[l] + hi_l[l]]
+    acc = np.zeros((last, rank), np.float64)
+    tmp = np.empty(rank, np.float64)
+    ptr = np.empty(nmodes, np.int64)
+    for l in range(nmodes):
+        ptr[l] = lo_l[l]
+    for z in range(lo_l[last], hi_l[last]):
+        fr = row_off[last] + fids_cat[fids_off[last] + z]
+        v = values[z]
+        for r in range(rank):
+            acc[last - 1, r] += v * packed[fr, r]
+        pos = z + 1
+        l = last - 1
+        while pos == fptr_cat[fptr_off[l] + ptr[l] + 1]:
+            if l > level:
+                fr2 = row_off[l] + fids_cat[fids_off[l] + ptr[l]]
+                for r in range(rank):
+                    acc[l - 1, r] += acc[l, r] * packed[fr2, r]
+                    acc[l, r] = 0.0
+                ptr[l] += 1
+                pos = ptr[l]
+                l -= 1
+            elif l == level:
+                # emit: subtree sum times the ancestor rows (levels < level)
+                i = ptr[level] - lo_l[level]
+                for r in range(rank):
+                    tmp[r] = acc[level, r]
+                    acc[level, r] = 0.0
+                for a in range(level):
+                    fra = row_off[a] + fids_cat[fids_off[a] + ptr[a]]
+                    for r in range(rank):
+                        tmp[r] *= packed[fra, r]
+                for r in range(rank):
+                    out[i, r] = tmp[r]
+                ptr[level] += 1
+                pos = ptr[level]
+                l -= 1
+            else:
+                # above the output level: structural advance only
+                if l == 0:
+                    ptr[0] += 1
+                    break
+                ptr[l] += 1
+                pos = ptr[l]
+                l -= 1
+
+
+def leaf_kernel(fptr_cat, fptr_off, fids_cat, fids_off, values,
+                packed, row_off, nmodes, lo, hi, out):
+    """Leaf-mode contributions for root slices ``[lo, hi)``.
+
+    ``out`` has one row per leaf (nonzero): the nonzero value times the
+    product of every ancestor level's factor row, the leaf factor excluded
+    — matching ``leaf_range_vectorized``'s ``vals[:, None] * d``.
+    """
+    rank = packed.shape[1]
+    last = nmodes - 1
+    lo_l = np.empty(nmodes, np.int64)
+    hi_l = np.empty(nmodes, np.int64)
+    lo_l[0] = lo
+    hi_l[0] = hi
+    for l in range(last):
+        lo_l[l + 1] = fptr_cat[fptr_off[l] + lo_l[l]]
+        hi_l[l + 1] = fptr_cat[fptr_off[l] + hi_l[l]]
+    ptr = np.empty(nmodes, np.int64)
+    for l in range(nmodes):
+        ptr[l] = lo_l[l]
+    prow = np.empty(rank, np.float64)
+    out_base = lo_l[last]
+    fib = last - 1  # the leaves' parent level ("fiber" level)
+    for p in range(lo_l[fib], hi_l[fib]):
+        for r in range(rank):
+            prow[r] = 1.0
+        for a in range(fib):
+            fra = row_off[a] + fids_cat[fids_off[a] + ptr[a]]
+            for r in range(rank):
+                prow[r] *= packed[fra, r]
+        frp = row_off[fib] + fids_cat[fids_off[fib] + p]
+        for r in range(rank):
+            prow[r] *= packed[frp, r]
+        for z in range(fptr_cat[fptr_off[fib] + p],
+                       fptr_cat[fptr_off[fib] + p + 1]):
+            i = z - out_base
+            v = values[z]
+            for r in range(rank):
+                out[i, r] = v * prow[r]
+        # advance ancestor pointers past completed nodes
+        pos = p + 1
+        l = fib - 1
+        while l >= 0 and pos == fptr_cat[fptr_off[l] + ptr[l] + 1]:
+            ptr[l] += 1
+            pos = ptr[l]
+            l -= 1
+
+
+def segment_sum_kernel(x, starts, out):
+    """``out[s] = sum of x[starts[s]:starts[s+1]]`` rows (last segment to end).
+
+    Within-segment accumulation is sequential in input order — the same
+    order as :class:`repro.mttkrp.scatter.SegmentSum`'s CSR matvec, so the
+    two agree to rounding.
+    """
+    nseg = starts.shape[0]
+    n = x.shape[0]
+    rank = x.shape[1]
+    for s in range(nseg):
+        e = starts[s + 1] if s + 1 < nseg else n
+        for r in range(rank):
+            out[s, r] = 0.0
+        for i in range(starts[s], e):
+            for r in range(rank):
+                out[s, r] += x[i, r]
+
+
+def gather_segment_sum_kernel(x, order, starts, out):
+    """Fused ``x[order]`` gather + segment sum (RowScatter's reduce).
+
+    Replaces the NumPy path's materialized sort gather followed by
+    ``reduceat`` with one pass; per-segment sums are sequential in
+    ``order`` order (the stable sort order), matching the gather+reduceat
+    result to rounding.
+    """
+    nseg = starts.shape[0]
+    n = order.shape[0]
+    rank = x.shape[1]
+    for s in range(nseg):
+        e = starts[s + 1] if s + 1 < nseg else n
+        for r in range(rank):
+            out[s, r] = 0.0
+        for i in range(starts[s], e):
+            j = order[i]
+            for r in range(rank):
+                out[s, r] += x[j, r]
+
+
+def ata_kernel(a, out):
+    """Symmetric ``AᵀA`` of a C-contiguous ``(n, R)`` matrix into ``(R, R)``.
+
+    Streams ``a`` row-wise, updating the upper triangle, then mirrors —
+    the same triangle BLAS ``dsyrk`` fills in :func:`repro.linalg.ata.gram`.
+    """
+    n = a.shape[0]
+    rank = a.shape[1]
+    for i in range(rank):
+        for j in range(rank):
+            out[i, j] = 0.0
+    for k in range(n):
+        for i in range(rank):
+            aki = a[k, i]
+            for j in range(i, rank):
+                out[i, j] += aki * a[k, j]
+    for i in range(rank):
+        for j in range(i):
+            out[i, j] = out[j, i]

@@ -1,0 +1,73 @@
+"""The ``numba`` JIT backend: ``@njit(nogil=True, cache=True)`` kernels.
+
+Compiles the exact functions of :mod:`repro.backend.kernels_ref` — no
+second copy of the algorithms exists.  ``nogil=True`` releases the GIL for
+the kernel's duration, so per-task kernel calls dispatched by the worker
+pool run on distinct cores concurrently; ``cache=True`` persists the
+compiled machine code across processes, so the ``backend.compile`` cost is
+paid once per machine/kernel-version rather than once per run.
+
+``parallel=True`` is deliberately **not** used on the range kernels: they
+execute as per-task bodies under :class:`~repro.runtime.pool.WorkerPool`
+(one task per core already), so a nested ``prange`` would oversubscribe
+the machine and perturb the paper's task-count experiments.  Outer
+parallelism stays where the paper puts it — in the tasking layer.
+
+This module imports :mod:`numba` at module level and must only be imported
+from the registered factory (lazily), keeping ``numba`` a strictly
+optional extra: ``import repro.backend`` never touches it.
+"""
+
+from __future__ import annotations
+
+import numba
+
+from repro.backend import kernels_ref as _ref
+from repro.backend.registry import Backend
+
+__all__ = ["NumbaBackend"]
+
+_JIT = numba.njit(nogil=True, cache=True)
+
+_root = _JIT(_ref.root_kernel)
+_internal = _JIT(_ref.internal_kernel)
+_leaf = _JIT(_ref.leaf_kernel)
+_segment_sum = _JIT(_ref.segment_sum_kernel)
+_gather_segment_sum = _JIT(_ref.gather_segment_sum_kernel)
+_ata = _JIT(_ref.ata_kernel)
+
+
+class NumbaBackend(Backend):
+    """GIL-releasing JIT kernels over the packed CSF layout."""
+
+    name = "numba"
+    compiled = True
+
+    def _prepare(self) -> None:
+        # Compilation itself happens on the first call of each kernel; the
+        # registry's warm-up check (run right after this, still inside the
+        # backend.compile span) triggers all six with the only signatures
+        # ever used — flat int64/float64 arrays, so one specialization
+        # covers every tensor order and rank.
+        pass
+
+    def root_kernel(self, pk, packed, lo, hi, out) -> None:
+        _root(pk.fptr_cat, pk.fptr_off, pk.fids_cat, pk.fids_off, pk.values,
+              packed, pk.row_off, pk.nmodes, lo, hi, out)
+
+    def internal_kernel(self, pk, packed, level, lo, hi, out) -> None:
+        _internal(pk.fptr_cat, pk.fptr_off, pk.fids_cat, pk.fids_off, pk.values,
+                  packed, pk.row_off, pk.nmodes, level, lo, hi, out)
+
+    def leaf_kernel(self, pk, packed, lo, hi, out) -> None:
+        _leaf(pk.fptr_cat, pk.fptr_off, pk.fids_cat, pk.fids_off, pk.values,
+              packed, pk.row_off, pk.nmodes, lo, hi, out)
+
+    def segment_sum(self, x, starts, out) -> None:
+        _segment_sum(x, starts, out)
+
+    def gather_segment_sum(self, x, order, starts, out) -> None:
+        _gather_segment_sum(x, order, starts, out)
+
+    def ata(self, a, out) -> None:
+        _ata(a, out)

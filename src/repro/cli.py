@@ -186,6 +186,7 @@ def _cmd_cpd(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
+        backend=args.backend,
     )
     with _traced(args), _SanitizeScope(args) as san_scope:
         result = cp_als(tensor, args.rank, opts)
@@ -214,6 +215,7 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
+        backend=args.backend,
     )
     with _traced(args), _SanitizeScope(args) as san_scope:
         result = complete(tensor, args.rank, opts)
@@ -249,6 +251,7 @@ def _cmd_tucker(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             resume_from=args.resume,
+            backend=args.backend,
         )
     _report_trace(args)
     print(f"fit = {result.fit:.6f} after {result.iterations} sweeps "
@@ -328,6 +331,16 @@ def _add_sanitize_flags(p: argparse.ArgumentParser) -> None:
                         "this fuzz seed (same seed reproduces the schedule)")
 
 
+def _add_backend_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "numpy", "numba", "cext"],
+                   help="kernel execution backend (default: auto — first "
+                        "available compiled backend, silently falling back "
+                        "to numpy; an explicitly named backend that is "
+                        "unavailable fails with an actionable error — see "
+                        "docs/BACKENDS.md)")
+
+
 def _add_checkpoint_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--checkpoint", metavar="PATH",
                    help="snapshot the solver state to PATH (atomic .npz) "
@@ -375,6 +388,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(lambda.mat + mode<N>.mat) instead of .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    _add_backend_flag(p)
     _add_sanitize_flags(p)
     _add_checkpoint_flags(p)
     p.set_defaults(fn=_cmd_cpd)
@@ -391,6 +405,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", help="write factors as .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    _add_backend_flag(p)
     _add_sanitize_flags(p)
     _add_checkpoint_flags(p)
     p.set_defaults(fn=_cmd_complete)
@@ -405,6 +420,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", help="write core + factors as .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    _add_backend_flag(p)
     _add_sanitize_flags(p)
     _add_checkpoint_flags(p)
     p.set_defaults(fn=_cmd_tucker)

@@ -66,6 +66,10 @@ class CompletionOptions:
         tensor, rank, algorithm and seed, and reproduces the
         uninterrupted run (the RNG resumes mid-stream, so SGD shuffles
         continue exactly where the killed run stopped).
+    backend:
+        Kernel execution backend for the ALS/SGD scatter reductions
+        (``"numpy"``/``"numba"``/``"cext"``/``"auto"``/``None``; see
+        ``docs/BACKENDS.md``).  CCD is scatter-free and ignores it.
     """
 
     algorithm: str = "als"
@@ -80,6 +84,7 @@ class CompletionOptions:
     checkpoint_path: str | os.PathLike | None = None
     checkpoint_every: int = 1
     resume_from: str | os.PathLike | None = None
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -102,6 +107,14 @@ class CompletionOptions:
             raise ValueError("sgd_chunk_size must be >= 1")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.backend is not None and self.backend != "auto":
+            from repro.backend import registered_backends
+
+            if self.backend not in registered_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; choose from "
+                    f"{', '.join(registered_backends())} or 'auto'"
+                )
 
 
 @dataclass
@@ -260,12 +273,22 @@ def complete(
         dims=list(train.dims),
     )
     with run_span:
+        from repro.backend import resolve_backend
+
+        bk = resolve_backend(opts.backend)
+        if bk.compiled:
+            bk.ensure_ready()
+        run_span.set_attrs(backend=bk.name)
         if start_epoch:
             run_span.set_attrs(resumed_from_iteration=start_epoch)
         for epoch in range(start_epoch, opts.max_epochs):
             with _obs.span("completion.epoch", epoch=epoch + 1):
                 if opts.algorithm == "als":
-                    als_step(train, factors, regularization=opts.regularization)
+                    als_step(
+                        train, factors,
+                        regularization=opts.regularization,
+                        backend=bk,
+                    )
                 elif opts.algorithm == "sgd":
                     sgd_epoch(
                         train, factors,
@@ -274,6 +297,7 @@ def complete(
                         chunk_size=opts.sgd_chunk_size,
                         rng=rng,
                         workspace=sgd_workspace,
+                        backend=bk,
                     )
                     learn_rate *= opts.learn_rate_decay
                 else:  # ccd

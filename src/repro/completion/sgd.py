@@ -43,6 +43,7 @@ def sgd_epoch(
     chunk_size: int = 256,
     rng: np.random.Generator | int | None = None,
     workspace: Workspace | None = None,
+    backend=None,
 ) -> None:
     """One SGD epoch over all observed entries, updating in place.
 
@@ -61,6 +62,10 @@ def sgd_epoch(
         Scratch-buffer arena for the per-batch scatter; pass a persistent
         one (the completion driver does) so steady-state epochs reuse the
         same buffers instead of reallocating per batch.
+    backend:
+        Optional resolved compiled :class:`~repro.backend.registry.Backend`
+        that fuses each batch's sort gather and segment reduction into one
+        GIL-releasing pass; results agree to summation rounding.
     """
     if learn_rate <= 0:
         raise ValueError("learn_rate must be positive")
@@ -98,6 +103,6 @@ def sgd_epoch(
             # each row's update order, and the segment reduction plus all
             # gathers run in reused workspace buffers.
             RowScatter(c[:, m], tag=("sgd",)).scatter_accumulate(
-                factors[m], grad, ws
+                factors[m], grad, ws, backend=backend
             )
             suffix = suffix * rows[m]

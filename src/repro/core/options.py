@@ -44,6 +44,11 @@ class CpalsOptions:
     force_locks:
         Override the lock decision for non-root modes (``None`` = use
         :func:`repro.mttkrp.locks_policy.needs_locks`).
+    backend:
+        Kernel execution backend: ``"numpy"``, ``"numba"``, ``"cext"``,
+        ``"auto"`` (first available compiled backend, silent fallback), or
+        ``None`` to defer to ``$REPRO_BACKEND`` / the ``numpy`` default.
+        See ``docs/BACKENDS.md``.
     seed:
         Seed for the random factor initialization.
     checkpoint_path:
@@ -67,6 +72,7 @@ class CpalsOptions:
     mutex_kind: str = "atomic"
     pool_size: int = 1024
     force_locks: bool | None = None
+    backend: str | None = None
     seed: int | None = 0
     checkpoint_path: str | os.PathLike | None = None
     checkpoint_every: int = 1
@@ -93,3 +99,11 @@ class CpalsOptions:
             raise ValueError("mutex_kind must be 'atomic' or 'sync'")
         if self.pool_size < 1:
             raise ValueError("pool_size must be >= 1")
+        if self.backend is not None and self.backend != "auto":
+            from repro.backend import registered_backends
+
+            if self.backend not in registered_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; choose from "
+                    f"{', '.join(registered_backends())} or 'auto'"
+                )

@@ -18,16 +18,23 @@ from repro._util import VALUE_DTYPE
 __all__ = ["gram", "hadamard_gram"]
 
 
-def gram(factor: np.ndarray) -> np.ndarray:
+def gram(factor: np.ndarray, backend=None) -> np.ndarray:
     """``AᵀA`` of one ``(I, R)`` factor matrix via BLAS ``syrk``.
 
     Only the upper triangle is computed by the BLAS call (as in SPLATT);
     the result is symmetrized before returning so callers can treat it as a
-    plain dense matrix.
+    plain dense matrix.  A compiled ``backend``
+    (:class:`~repro.backend.registry.Backend`) computes the same symmetric
+    product with its own GIL-releasing kernel instead of BLAS.
     """
     a = np.asarray(factor, dtype=VALUE_DTYPE)
     if a.ndim != 2:
         raise ValueError(f"factor must be 2-D, got shape {a.shape}")
+    if backend is not None and backend.compiled:
+        a = np.ascontiguousarray(a)
+        out = np.empty((a.shape[1], a.shape[1]), dtype=VALUE_DTYPE)
+        backend.ata(a, out)
+        return out
     # dsyrk computes alpha * A^T A in the requested triangle for trans=1.
     upper = dsyrk(1.0, a, trans=1, lower=0)
     full = np.triu(upper) + np.triu(upper, k=1).T

@@ -110,16 +110,23 @@ class LintConfig:
     hot_modules: tuple[str, ...] = (
         "repro/mttkrp/*.py",
         "repro/tucker/*.py",
+        "repro/backend/*.py",
     )
     #: Carve-outs from ``hot_modules`` — the reference MTTKRP is the
-    #: deliberately naive spec baseline.
-    hot_exclude: tuple[str, ...] = ("repro/mttkrp/reference.py",)
+    #: deliberately naive spec baseline, and the backend kernel source is
+    #: scalar-loop code *meant* to be JIT/C-compiled, where the interpreted
+    #: NumPy heuristics do not apply.
+    hot_exclude: tuple[str, ...] = (
+        "repro/mttkrp/reference.py",
+        "repro/backend/kernels_ref.py",
+    )
     #: Modules where ``raw-scatter`` (``np.<ufunc>.at`` in hot paths) fires.
     scatter_modules: tuple[str, ...] = (
         "repro/mttkrp/*.py",
         "repro/tucker/*.py",
         "repro/completion/*.py",
         "repro/linalg/*.py",
+        "repro/backend/*.py",
     )
     #: Modules allowed to touch :mod:`threading` directly — the simulated
     #: runtime and the tooling that instruments it.  Everyone else goes

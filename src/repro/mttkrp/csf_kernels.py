@@ -176,14 +176,26 @@ def root_range_vectorized(
     *,
     trav: TaskTraversal | None = None,
     ws: Workspace | None = None,
+    bctx=None,
 ) -> None:
     """Root-mode MTTKRP over slices ``[lo, hi)``, accumulated into ``out``.
 
     Output rows ``fids[0][lo:hi]`` are distinct, so concurrent calls on
     disjoint slice ranges are race-free.  ``trav``/``ws`` enable the
-    amortized path (cached traversal indices, reused buffers).
+    amortized path (cached traversal indices, reused buffers).  ``bctx``
+    (a :class:`~repro.backend.registry.BackendCall`) routes the subtree
+    products through a compiled, GIL-releasing kernel instead of the
+    NumPy tree walk; scatter and sanitizer behaviour are unchanged.
     """
     if hi <= lo:
+        return
+    if bctx is not None and csf.nmodes >= 2:
+        w = bctx.root_w(lo, hi, ws)
+        rows = csf.fids[0][lo:hi] if trav is None else trav.fids[0]
+        out[rows] += w
+        san = _san._active
+        if san is not None:
+            san.on_access(out, rows, write=True, site="root_range_vectorized")
         return
     ranges = _level_ranges(csf, lo, hi) if trav is None else trav.ranges
     if csf.nmodes == 1:
@@ -225,13 +237,15 @@ def leaf_range_vectorized(
     *,
     trav: TaskTraversal | None = None,
     ws: Workspace | None = None,
+    bctx=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Leaf-mode MTTKRP contributions from slices ``[lo, hi)``.
 
     Returns ``(rows, contribs)`` — the caller owns the scatter-add, because
     leaf rows repeat across tasks and synchronization policy lives a level
     up (privatize vs mutex).  With ``ws``, ``contribs`` is a reused
-    workspace buffer valid until the task's next kernel call.
+    workspace buffer valid until the task's next kernel call.  ``bctx``
+    computes the same contributions with a compiled single-pass kernel.
     """
     nmodes = csf.nmodes
     if nmodes < 2:
@@ -240,6 +254,11 @@ def leaf_range_vectorized(
         rank = factors[0].shape[1]
         return np.empty(0, dtype=np.int64), np.empty((0, rank), dtype=VALUE_DTYPE)
     ranges = _level_ranges(csf, lo, hi) if trav is None else trav.ranges
+    if bctx is not None:
+        leaf_lo, leaf_hi = ranges[nmodes - 1]
+        rows = csf.fids[nmodes - 1][leaf_lo:leaf_hi] if trav is None else trav.fids[nmodes - 1]
+        contribs = bctx.leaf_contribs(lo, hi, leaf_hi - leaf_lo, ws)
+        return rows, contribs
     d = _downward_product(csf, factors, ranges, stop_level=nmodes - 1, trav=trav, ws=ws)
     if trav is None:
         leaf_lo, leaf_hi = ranges[nmodes - 1]
@@ -297,12 +316,14 @@ def internal_range_vectorized(
     *,
     trav: TaskTraversal | None = None,
     ws: Workspace | None = None,
+    bctx=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Internal-mode MTTKRP contributions for tree ``level`` (0<level<N-1).
 
     Combines the downward product (modes above ``level``) with the upward
     product (modes below) at each ``level`` node.  Returns
-    ``(rows, contribs)`` like :func:`leaf_range_vectorized`.
+    ``(rows, contribs)`` like :func:`leaf_range_vectorized`.  ``bctx``
+    computes the same contributions with a compiled single-pass kernel.
     """
     nmodes = csf.nmodes
     if not 0 < level < nmodes - 1:
@@ -311,6 +332,11 @@ def internal_range_vectorized(
         rank = factors[0].shape[1]
         return np.empty(0, dtype=np.int64), np.empty((0, rank), dtype=VALUE_DTYPE)
     ranges = _level_ranges(csf, lo, hi) if trav is None else trav.ranges
+    if bctx is not None:
+        nlo, nhi = ranges[level]
+        rows = csf.fids[level][nlo:nhi] if trav is None else trav.fids[level]
+        contribs = bctx.internal_contribs(level, lo, hi, nhi - nlo, ws)
+        return rows, contribs
     d = _downward_product(csf, factors, ranges, stop_level=level, trav=trav, ws=ws)
     u = _upward_product(csf, factors, ranges, stop_level=level, trav=trav, ws=ws)
     nlo, nhi = ranges[level]
@@ -342,11 +368,13 @@ def run_root_parallel(
     *,
     plan: ScatterPlan | None = None,
     workspaces: Sequence[Workspace] | None = None,
+    bctx=None,
 ) -> None:
     """Parallel root-mode MTTKRP: nnz-balanced slice blocks, no locks.
 
     With a :class:`~repro.mttkrp.scatter.ScatterPlan` the per-call
-    partitioning and traversal setup come from the cache.
+    partitioning and traversal setup come from the cache.  With ``bctx``,
+    each task's subtree products run in a compiled GIL-releasing kernel.
     """
     ntasks = layer.env.num_tasks
     bounds = plan.bounds if plan is not None else nnz_balanced_blocks(csf, ntasks)
@@ -354,7 +382,8 @@ def run_root_parallel(
     def task(tid: int) -> None:
         trav, ws = _task_context(plan, workspaces, tid)
         root_range_vectorized(
-            csf, factors, out, int(bounds[tid]), int(bounds[tid + 1]), trav=trav, ws=ws
+            csf, factors, out, int(bounds[tid]), int(bounds[tid + 1]),
+            trav=trav, ws=ws, bctx=bctx,
         )
 
     layer.coforall(ntasks, task)
@@ -371,6 +400,7 @@ def run_scatter_privatized(
     buffers: Sequence[np.ndarray] | None = None,
     workspaces: Sequence[Workspace] | None = None,
     presorted: bool = False,
+    backend=None,
 ) -> None:
     """Privatized parallel scatter: per-task buffers + reduction.
 
@@ -392,7 +422,9 @@ def run_scatter_privatized(
         rows, contribs = compute_range(int(bounds[0]), int(bounds[1]), 0)
         if plan is not None:
             ws = workspaces[0] if workspaces is not None else None
-            plan.scatters[0].scatter_accumulate(out, contribs, ws, presorted=presorted)
+            plan.scatters[0].scatter_accumulate(
+                out, contribs, ws, presorted=presorted, backend=backend
+            )
         else:
             np.add.at(out, rows, contribs)
         return
@@ -404,7 +436,7 @@ def run_scatter_privatized(
             if plan is not None:
                 ws = workspaces[tid] if workspaces is not None else None
                 plan.scatters[tid].scatter_accumulate(
-                    buffers[tid], contribs, ws, presorted=presorted
+                    buffers[tid], contribs, ws, presorted=presorted, backend=backend
                 )
             else:
                 np.add.at(buffers[tid], rows, contribs)
@@ -420,7 +452,7 @@ def run_scatter_privatized(
             _, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]), tid)
             ws = workspaces[tid] if workspaces is not None else None
             plan.scatters[tid].scatter_assign(
-                buffers[tid], contribs, ws, presorted=presorted
+                buffers[tid], contribs, ws, presorted=presorted, backend=backend
             )
 
     layer.coforall(ntasks, task)
@@ -438,6 +470,7 @@ def run_scatter_mutex(
     plan: ScatterPlan | None = None,
     workspaces: Sequence[Workspace] | None = None,
     presorted: bool = False,
+    backend=None,
 ) -> None:
     """Mutex-pool parallel scatter: shared output, hashed row locks.
 
@@ -456,7 +489,9 @@ def run_scatter_mutex(
         rows, contribs = compute_range(int(bounds[tid]), int(bounds[tid + 1]), tid)
         if plan is not None:
             ws = workspaces[tid] if workspaces is not None else None
-            plan.scatters[tid].scatter_mutex(out, contribs, pool, ws, presorted=presorted)
+            plan.scatters[tid].scatter_mutex(
+                out, contribs, pool, ws, presorted=presorted, backend=backend
+            )
             return
         if rows.size == 0:
             return

@@ -73,13 +73,26 @@ except ImportError:  # pragma: no cover - older/newer scipy layouts
     _csr_matvecs = None
 
 
-def sorted_scatter_add(out: np.ndarray, rows: np.ndarray, contribs: np.ndarray) -> np.ndarray:
+def _compiled(backend) -> bool:
+    """True when ``backend`` should take the compiled primitive path."""
+    return backend is not None and backend.compiled
+
+
+def sorted_scatter_add(
+    out: np.ndarray,
+    rows: np.ndarray,
+    contribs: np.ndarray,
+    backend=None,
+) -> np.ndarray:
     """``np.add.at(out, rows, contribs)`` via stable sort + ``reduceat``.
 
     The per-row accumulation order equals the input order (stable sort), so
     the result matches ``np.add.at`` to summation rounding while running at
     vectorized-reduction speed.  Use :class:`RowScatter` instead when
-    ``rows`` is invariant across calls.
+    ``rows`` is invariant across calls.  A compiled ``backend`` replaces
+    the materialized sort gather + ``reduceat`` with one fused
+    gather-segment-sum pass (same per-segment input order, so results
+    agree to summation rounding).
     """
     if rows.size == 0:
         return out
@@ -87,6 +100,20 @@ def sorted_scatter_add(out: np.ndarray, rows: np.ndarray, contribs: np.ndarray) 
     sorted_rows = rows[order]
     starts = np.flatnonzero(sorted_rows[1:] != sorted_rows[:-1]) + 1
     starts = np.concatenate(([0], starts))
+    if (
+        _compiled(backend)
+        and contribs.dtype == VALUE_DTYPE
+        and contribs.flags.c_contiguous
+    ):
+        reduced = np.empty((starts.size,) + contribs.shape[1:], dtype=VALUE_DTYPE)
+        backend.gather_segment_sum(
+            contribs,
+            order.astype(np.int64, copy=False),
+            starts.astype(np.int64, copy=False),
+            reduced,
+        )
+        out[sorted_rows[starts]] += reduced
+        return out
     out[sorted_rows[starts]] += np.add.reduceat(contribs[order], starts, axis=0)
     return out
 
@@ -143,11 +170,16 @@ class RowScatter:
     """
 
     __slots__ = ("nrows_in", "order", "seg_starts", "out_rows",
-                 "bucket_ids", "bucket_bounds", "tag")
+                 "bucket_ids", "bucket_bounds", "tag", "_order64", "_starts64")
 
     def __init__(self, rows: np.ndarray, pool_size: int | None = None, tag=None):
         self.nrows_in = int(rows.shape[0])
         self.tag = ("scatter",) if tag is None else tag
+        # int64 views of order/seg_starts for compiled backends, built on
+        # first backend use (np.intp is int64 on 64-bit platforms, so these
+        # are usually zero-copy aliases).
+        self._order64 = None
+        self._starts64 = None
         if self.nrows_in == 0:
             self.order = np.empty(0, dtype=np.intp)
             self.seg_starts = np.empty(0, dtype=np.intp)
@@ -185,13 +217,44 @@ class RowScatter:
         ws: Workspace | None = None,
         *,
         presorted: bool = False,
+        backend=None,
     ) -> np.ndarray:
         """Per-unique-row segment sums, aligned with :attr:`out_rows`.
 
         ``presorted=True`` promises ``contribs`` is already in
         :attr:`order` order (the producer folded the permutation into its
-        own gathers), skipping the sort gather entirely.
+        own gathers), skipping the sort gather entirely.  A compiled
+        ``backend`` fuses gather and reduction into one GIL-releasing
+        pass over the same segments, agreeing to summation rounding.
         """
+        if (
+            _compiled(backend)
+            and contribs.dtype == VALUE_DTYPE
+            and contribs.flags.c_contiguous
+        ):
+            if self._starts64 is None:
+                self._order64 = self.order.astype(np.int64, copy=False)
+                self._starts64 = self.seg_starts.astype(np.int64, copy=False)
+            shape = (self.seg_starts.size,) + contribs.shape[1:]
+            if ws is None:
+                reduced = np.empty(shape, dtype=VALUE_DTYPE)
+            else:
+                reduced = ws.buf(self.tag + ("reduced",), shape, VALUE_DTYPE)
+            # The compiled kernels take 2-D (n, width) arrays; trailing
+            # dims (e.g. ALS's (nnz, R, R) outer-product stacks) flatten
+            # to zero-copy views thanks to the C-contiguity guard above.
+            width = 1
+            for d in contribs.shape[1:]:
+                width *= d
+            flat = contribs.reshape(contribs.shape[0], width)
+            flat_out = reduced.reshape(reduced.shape[0], width)
+            if presorted:
+                backend.segment_sum(flat, self._starts64, flat_out)
+            else:
+                backend.gather_segment_sum(
+                    flat, self._order64, self._starts64, flat_out
+                )
+            return reduced
         if presorted:
             sorted_c = contribs
         elif ws is None:
@@ -215,11 +278,14 @@ class RowScatter:
         ws: Workspace | None = None,
         *,
         presorted: bool = False,
+        backend=None,
     ) -> None:
         """``out[rows] += contribs`` with duplicate rows pre-reduced."""
         if self.nrows_in == 0:
             return
-        out[self.out_rows] += self.reduce(contribs, ws, presorted=presorted)
+        out[self.out_rows] += self.reduce(
+            contribs, ws, presorted=presorted, backend=backend
+        )
         san = _san._active
         if san is not None:
             san.on_access(
@@ -233,6 +299,7 @@ class RowScatter:
         ws: Workspace | None = None,
         *,
         presorted: bool = False,
+        backend=None,
     ) -> None:
         """Overwrite ``out``'s :attr:`out_rows` with the segment sums.
 
@@ -243,7 +310,9 @@ class RowScatter:
         """
         if self.nrows_in == 0:
             return
-        out[self.out_rows] = self.reduce(contribs, ws, presorted=presorted)
+        out[self.out_rows] = self.reduce(
+            contribs, ws, presorted=presorted, backend=backend
+        )
         san = _san._active
         if san is not None:
             san.on_access(
@@ -258,6 +327,7 @@ class RowScatter:
         ws: Workspace | None = None,
         *,
         presorted: bool = False,
+        backend=None,
     ) -> None:
         """Locked scatter: one pool acquire per cached bucket group.
 
@@ -267,7 +337,7 @@ class RowScatter:
         """
         if self.nrows_in == 0:
             return
-        reduced = self.reduce(contribs, ws, presorted=presorted)
+        reduced = self.reduce(contribs, ws, presorted=presorted, backend=backend)
         san = _san._active
         for k in range(self.bucket_ids.size):
             s = int(self.bucket_bounds[k])
@@ -299,13 +369,16 @@ class SegmentSum:
     reduceat path's pairwise sums).
     """
 
-    __slots__ = ("matrix", "nseg", "nin")
+    __slots__ = ("matrix", "nseg", "nin", "starts64")
 
     def __init__(self, starts: np.ndarray, nin: int):
         import scipy.sparse as sp
 
         self.nseg = int(starts.shape[0])
         self.nin = int(nin)
+        # Kept separately from matrix.indptr (scipy may downcast that to
+        # int32): the compiled backends require int64 segment starts.
+        self.starts64 = np.ascontiguousarray(starts, dtype=np.int64)
         indptr = np.empty(self.nseg + 1, dtype=np.int64)
         indptr[: self.nseg] = starts
         indptr[self.nseg] = nin
@@ -314,9 +387,16 @@ class SegmentSum:
             shape=(self.nseg, nin),
         )
 
-    def apply(self, w: np.ndarray, ws: Workspace, tag) -> np.ndarray:
+    def apply(self, w: np.ndarray, ws: Workspace, tag, backend=None) -> np.ndarray:
         """Per-segment sums of ``w``'s rows, in a reused ``tag`` buffer."""
         out = ws.buf(tag, (self.nseg,) + w.shape[1:], w.dtype)
+        if (
+            _compiled(backend)
+            and w.dtype == VALUE_DTYPE
+            and w.flags.c_contiguous
+        ):
+            backend.segment_sum(w, self.starts64, out)
+            return out
         m = self.matrix
         if _csr_matvecs is not None and w.flags["C_CONTIGUOUS"]:
             out[:] = 0.0
@@ -330,7 +410,8 @@ class SegmentSum:
 
     def nbytes(self) -> int:
         m = self.matrix
-        return m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        return (m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+                + self.starts64.nbytes)
 
 
 class TaskTraversal:
@@ -491,6 +572,7 @@ class MttkrpContext:
         self._plans: dict = {}
         self._buffers: dict = {}
         self._workspaces: dict = {}
+        self._packed: dict = {}
         self._mutex_pools: dict = {}
         self._finalized_tokens: set[int] = set()
         # Reentrant: a finalize-driven eviction can fire from a GC pass
@@ -515,7 +597,7 @@ class MttkrpContext:
         """Drop every cache entry belonging to a collected tree."""
         with self._evict_lock:
             for cache in (self._traversals, self._plans, self._workspaces,
-                          self._buffers):
+                          self._buffers, self._packed):
                 for key in [k for k in cache if k[0] == token]:
                     del cache[key]
             self._finalized_tokens.discard(token)
@@ -558,14 +640,38 @@ class MttkrpContext:
         self._plans[key] = plan
         return plan, False
 
-    def workspaces(self, tree: CsfTensor, ntasks: int) -> list[Workspace]:
-        """One :class:`Workspace` per task, shared by all levels of a tree."""
-        key = (self._tree_key(tree), ntasks)
+    def workspaces(
+        self, tree: CsfTensor, ntasks: int, backend: str = "numpy"
+    ) -> list[Workspace]:
+        """One :class:`Workspace` per task, shared by all levels of a tree.
+
+        Keyed by ``backend`` name as well: compiled and NumPy kernels shape
+        their scratch differently, so sharing one arena across backends
+        would thrash its buffers when comparing backends on one tree.
+        """
+        key = (self._tree_key(tree), ntasks, backend)
         ws = self._workspaces.get(key)
         if ws is None:
             ws = [Workspace() for _ in range(ntasks)]
             self._workspaces[key] = ws
         return ws
+
+    def packed_tree(self, tree: CsfTensor):
+        """The tree's cached :class:`~repro.backend.packing.PackedTree`
+        (flat compiled-kernel layout), built once per tree generation."""
+        from repro.backend.packing import PackedTree
+
+        key = (self._tree_key(tree),)
+        pk = self._packed.get(key)
+        if pk is None:
+            pk = PackedTree(tree)
+            self._packed[key] = pk
+        return pk
+
+    def pack_workspace(self, tree: CsfTensor, backend: str) -> Workspace:
+        """The arena holding a backend's packed factor matrix for ``tree``
+        (rebuilt into the same buffer every MTTKRP call)."""
+        return self.workspaces(tree, 1, "pack:" + backend)[0]
 
     def mutex_pool(self, kind: str, size: int, env):
         """A cached mutex pool for amortized calls that didn't pass one.
@@ -608,6 +714,7 @@ class MttkrpContext:
             "traversals": len(self._traversals),
             "workspaces": len(self._workspaces),
             "buffers": len(self._buffers),
+            "packed": len(self._packed),
             "mutex_pools": len(self._mutex_pools),
         }
 
@@ -627,6 +734,7 @@ class MttkrpContext:
             self._plans.clear()
             self._buffers.clear()
             self._workspaces.clear()
+            self._packed.clear()
             self._mutex_pools.clear()
             self._finalized_tokens.clear()
 
@@ -635,6 +743,7 @@ class MttkrpContext:
         plan_bytes = sum(p.memory_bytes() for p in self._plans.values())
         ws_bytes = sum(w.nbytes() for group in self._workspaces.values() for w in group)
         buf_bytes = sum(b.nbytes for group in self._buffers.values() for b in group)
+        packed_bytes = sum(p.nbytes() for p in self._packed.values())
         return {
             "plans": len(self._plans),
             "plan_hits": self.plan_hits,
@@ -642,5 +751,6 @@ class MttkrpContext:
             "plan_bytes": plan_bytes,
             "workspace_bytes": ws_bytes,
             "buffer_bytes": buf_bytes,
+            "packed_bytes": packed_bytes,
             "evictions": self.evictions,
         }

@@ -42,6 +42,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro._util import VALUE_DTYPE, check_axis
+from repro.backend import canonical_factors, prepare_call, resolve_backend
 from repro.csf.build import CsfSet, build_csf_set
 from repro.csf.tree import CsfTensor
 from repro.mttkrp import csf_kernels
@@ -384,6 +385,7 @@ def mttkrp_csf(
     force_locks: bool | None = None,
     out: np.ndarray | None = None,
     amortize: bool = True,
+    backend=None,
 ) -> tuple[np.ndarray, MttkrpInfo]:
     """MTTKRP for output ``mode`` using a prebuilt CSF set.
 
@@ -414,6 +416,16 @@ def mttkrp_csf(
         workspaces make repeated calls on the same set allocation-free.
         ``False`` recovers the seed per-call behaviour (used as the
         benchmark baseline).  Results are identical either way.
+    backend:
+        Execution backend for the numerical hot spots (``vectorized``
+        variant, order >= 2): a name (``"numpy"``, ``"numba"``, ``"cext"``,
+        ``"auto"``), a :class:`~repro.backend.registry.Backend` instance,
+        or ``None`` (defer to ``$REPRO_BACKEND``, default ``numpy``).  See
+        ``docs/BACKENDS.md``.  Compiled backends replace the NumPy tree
+        walk and scatter reductions with GIL-releasing kernels; scatter
+        structure, lock traffic and results (``allclose`` at 1e-10) are
+        unchanged.  Interpreted variants always run in-process regardless
+        of backend.
 
     Returns
     -------
@@ -429,6 +441,10 @@ def mttkrp_csf(
     nmodes = csf_set.nmodes
     mode = check_axis(mode, nmodes)
     tree, algorithm = csf_set.tree_for_mode(mode)
+    bk = resolve_backend(backend)
+    # Identical coercion for every backend (C-contiguous float64), so
+    # backend choice can never change how an exotic input is interpreted.
+    factors = canonical_factors(factors)
     rank = factors[0].shape[1]
     dim = tree.dims[mode]
     if factors[mode].shape != (dim, rank):
@@ -461,6 +477,18 @@ def mttkrp_csf(
 
     plan_hit: bool | None = None
 
+    # Compiled backends take over the vectorized tree walk for order >= 2
+    # (order-1 trees have no kernel work to speak of).  The dispatch layer
+    # computes *contributions* only — scatter structure, privatization,
+    # mutex traffic and the sanitizer hooks are shared with the numpy path,
+    # which is what makes cross-backend equivalence structural.
+    use_compiled = bk.compiled and variant == "vectorized" and tree.nmodes >= 2
+    bctx = None
+    if use_compiled:
+        bctx = prepare_call(bk, csf_set.mttkrp_context, tree, factors)
+        _obs.count("backend.dispatch." + bk.name)
+    scatter_bk = bk if use_compiled else None
+
     san = _san._active
     if san is not None:
         san.register_array(out, f"mttkrp.out.mode{mode}")
@@ -477,12 +505,13 @@ def mttkrp_csf(
                 level = 0 if algorithm == "root" else tree.level_of_mode(mode)
                 psize = the_pool.size if the_pool is not None else None
                 plan, plan_hit = ctx.plan(tree, level, ntasks, psize)
-                workspaces = ctx.workspaces(tree, ntasks)
+                workspaces = ctx.workspaces(tree, ntasks, bk.name)
                 if the_pool is None and algorithm != "root" and ntasks > 1:
                     buffers = ctx.buffers(tree, level, ntasks, out.shape)
             if algorithm == "root":
                 csf_kernels.run_root_parallel(
-                    tree, factors, out, layer, plan=plan, workspaces=workspaces
+                    tree, factors, out, layer, plan=plan, workspaces=workspaces,
+                    bctx=bctx,
                 )
             else:
                 def _ctx(tid):
@@ -492,9 +521,12 @@ def mttkrp_csf(
 
                 presorted = False
                 if algorithm == "leaf":
-                    if plan is not None and plan.leaf_expand_sorted is not None:
+                    if (plan is not None and plan.leaf_expand_sorted is not None
+                            and bctx is None):
                         # contribs come out already in scatter-sorted order; the
                         # per-call O(nnz) sort gather disappears entirely.
+                        # (Compiled backends emit in tree order instead and fuse
+                        # the gather into their segment-sum reduction.)
                         presorted = True
 
                         def compute(lo, hi, tid):
@@ -506,7 +538,7 @@ def mttkrp_csf(
                         def compute(lo, hi, tid):
                             trav, ws = _ctx(tid)
                             return csf_kernels.leaf_range_vectorized(
-                                tree, factors, lo, hi, trav=trav, ws=ws
+                                tree, factors, lo, hi, trav=trav, ws=ws, bctx=bctx
                             )
                 else:
                     level = tree.level_of_mode(mode)
@@ -514,18 +546,20 @@ def mttkrp_csf(
                     def compute(lo, hi, tid):
                         trav, ws = _ctx(tid)
                         return csf_kernels.internal_range_vectorized(
-                            tree, factors, level, lo, hi, trav=trav, ws=ws
+                            tree, factors, level, lo, hi, trav=trav, ws=ws,
+                            bctx=bctx,
                         )
                 if the_pool is not None:
                     csf_kernels.run_scatter_mutex(
                         tree, factors, out, layer, the_pool, compute,
                         plan=plan, workspaces=workspaces, presorted=presorted,
+                        backend=scatter_bk,
                     )
                 else:
                     csf_kernels.run_scatter_privatized(
                         tree, factors, out, layer, compute,
                         plan=plan, buffers=buffers, workspaces=workspaces,
-                        presorted=presorted,
+                        presorted=presorted, backend=scatter_bk,
                     )
         else:
             _run_interpreted(tree, factors, out, algorithm, variant, layer, the_pool)
@@ -545,6 +579,7 @@ def mttkrp_csf(
                 "variant": variant,
                 "ntasks": env.num_tasks,
                 "used_locks": use_locks,
+                "backend": bk.name,
             },
         ) as sp:
             _execute()

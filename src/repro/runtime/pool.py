@@ -30,6 +30,15 @@ Fault injection: when a :class:`~repro.resilience.fault.FaultPlan` is
 installed, :meth:`WorkerPool.run` pokes the ``pool.dispatch`` site before
 submitting any task (so a firing fault is always retry-safe) and each task
 body pokes ``pool.task`` on its worker (surfacing as a task failure).
+
+Parallelism note: under plain NumPy kernels the pool's workers contend on
+the GIL between vector calls, so the pool models Chapel's structure more
+than its speed.  With a compiled kernel backend selected
+(:mod:`repro.backend` — numba ``nogil`` JIT or the ctypes C extension,
+whose foreign calls release the GIL for their whole duration), the range
+kernels dispatched onto these workers run genuinely concurrently, and
+task-count scaling becomes real wall-clock scaling rather than simulated
+accounting.
 """
 
 from __future__ import annotations

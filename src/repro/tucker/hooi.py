@@ -127,6 +127,7 @@ def tucker_hooi(
     checkpoint_path: str | os.PathLike | None = None,
     checkpoint_every: int = 1,
     resume_from: str | os.PathLike | None = None,
+    backend: str | None = None,
 ) -> TuckerResult:
     """Fit a Tucker model with core ranks ``ranks`` by HOOI.
 
@@ -146,6 +147,10 @@ def tucker_hooi(
         ``checkpoint_every`` sweeps and/or resume a killed run (see
         :mod:`repro.resilience.checkpoint`); a resumed run reproduces an
         uninterrupted one.
+    backend:
+        Kernel execution backend for the TTMc scatter reductions
+        (``"numpy"``/``"numba"``/``"cext"``/``"auto"``/``None``; see
+        ``docs/BACKENDS.md``).  Results are identical across backends.
 
     Returns
     -------
@@ -218,13 +223,19 @@ def tucker_hooi(
         init=init,
     )
     with run_span:
+        from repro.backend import resolve_backend
+
+        bk = resolve_backend(backend)
+        if bk.compiled:
+            bk.ensure_ready()
+        run_span.set_attrs(backend=bk.name)
         if start_iteration:
             run_span.set_attrs(resumed_from_iteration=start_iteration)
         for it in range(start_iteration, max_iterations):
             y_last: np.ndarray | None = None
             with _obs.span("hooi.sweep", iteration=it + 1):
                 for mode in range(nmodes):
-                    y = ttmc(tensor, factors, mode)  # (I_mode, prod other ranks)
+                    y = ttmc(tensor, factors, mode, backend=bk)  # (I_mode, prod other ranks)
                     with _obs.span("hooi.svd", mode=mode):
                         u, _s, _vt = np.linalg.svd(y, full_matrices=False)
                     factors[mode] = np.ascontiguousarray(u[:, : ranks[mode]], dtype=VALUE_DTYPE)

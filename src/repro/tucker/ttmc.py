@@ -43,12 +43,15 @@ def ttmc(
     mode: int,
     *,
     chunk_size: int = _CHUNK,
+    backend=None,
 ) -> np.ndarray:
     """Sparse TTMc for output ``mode`` (see module docstring).
 
     ``factors`` holds all ``N`` matrices; ``factors[mode]`` is ignored.
     Returns the ``(I_mode, Π_{m≠mode} R_m)`` unfolding with the lowest
-    remaining mode's rank index varying fastest.
+    remaining mode's rank index varying fastest.  A compiled ``backend``
+    (resolved :class:`~repro.backend.registry.Backend`) accelerates each
+    chunk's scatter-add with the fused gather-segment-sum kernel.
     """
     mode = check_axis(mode, tensor.nmodes)
     if len(factors) != tensor.nmodes:
@@ -60,6 +63,10 @@ def ttmc(
             )
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
+    if backend is not None and not hasattr(backend, "compiled"):
+        from repro.backend import resolve_backend
+
+        backend = resolve_backend(backend)
 
     rest = [m for m in range(tensor.nmodes) if m != mode]
     ncols = prod(factors[m].shape[1] for m in rest)
@@ -81,7 +88,7 @@ def ttmc(
                 acc = (acc[:, :, None] * rows[:, None, :]).reshape(acc.shape[0], -1)  # reprolint: allow(hot-loop-alloc) — output width grows each mode; a fixed workspace buffer cannot hold it
             # chunk rows change every call, so use the one-shot segmented
             # scatter rather than a cached plan
-            sorted_scatter_add(out, c[:, mode], acc)
+            sorted_scatter_add(out, c[:, mode], acc, backend=backend)
     return out
 
 

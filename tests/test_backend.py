@@ -1,0 +1,364 @@
+"""Unit tests for :mod:`repro.backend` — registry semantics, selection
+precedence, the optional-dependency fallback contract, backend-boundary
+dtype/layout coercion, and the kernel algorithms themselves.
+
+The kernel algorithm is certified *without* any compiled backend present:
+a pure-Python :class:`Backend` subclass runs the uncompiled
+:mod:`repro.backend.kernels_ref` functions through the full dispatch path
+(packing, warm-up self-check, MTTKRP) and must match the dense reference.
+Compiled backends (numba/cext) then only have to agree with code already
+proven correct — that comparison runs in
+``tests/test_properties_equivalence.py`` over every runtime config.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backend import (
+    AUTO_ORDER,
+    Backend,
+    BackendUnavailableError,
+    available_backends,
+    canonical_factors,
+    get_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.backend import kernels_ref as kref
+from repro.backend.registry import _warmup_check
+from repro.csf.build import build_csf_set
+from repro.mttkrp.reference import dense_mttkrp_reference
+from repro.mttkrp.variants import mttkrp_csf
+from repro.tensor.coo import SparseTensor
+
+RTOL = 1e-10
+ATOL = 1e-12
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _random_tensor(seed=0, dims=(8, 6, 5), nnz=40):
+    rng = np.random.default_rng(seed)
+    coords = np.stack([rng.integers(0, d, nnz) for d in dims], axis=1)
+    values = rng.standard_normal(nnz)
+    return SparseTensor(coords, values, dims).deduplicate()
+
+
+# ======================================================================
+# registry + selection precedence
+# ======================================================================
+def test_numpy_always_registered_and_available():
+    assert "numpy" in registered_backends()
+    assert "numpy" in available_backends()
+    bk = get_backend("numpy")
+    assert bk.name == "numpy" and not bk.compiled
+    assert bk.compile_seconds == 0.0
+
+
+def test_all_names_registered_even_when_unavailable():
+    # registration is unconditional; *availability* is what varies by
+    # environment (numba import, C compiler presence)
+    names = registered_backends()
+    for name in AUTO_ORDER:
+        assert name in names
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(BackendUnavailableError, match="unknown backend"):
+        get_backend("fortran77")
+
+
+def test_explicit_argument_beats_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "no-such-backend")
+    assert resolve_backend("numpy").name == "numpy"
+
+
+def test_environment_beats_library_default(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    assert resolve_backend(None).name == "numpy"
+    monkeypatch.setenv("REPRO_BACKEND", "no-such-backend")
+    with pytest.raises(BackendUnavailableError):
+        resolve_backend(None)
+
+
+def test_default_is_numpy(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend(None).name == "numpy"
+
+
+def test_resolved_instances_pass_through():
+    bk = get_backend("numpy")
+    assert resolve_backend(bk) is bk
+
+
+def test_disable_env_masks_backends(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND_DISABLE", "numba,cext")
+    assert available_backends() == ["numpy"]
+    assert resolve_backend("auto").name == "numpy"
+    with pytest.raises(BackendUnavailableError, match="disabled"):
+        get_backend("cext")
+
+
+def test_auto_prefers_compiled_backends_in_order(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND_DISABLE", raising=False)
+    avail = available_backends()
+    assert resolve_backend("auto").name == avail[0]
+    assert avail == [n for n in AUTO_ORDER if n in avail]
+
+
+def test_options_validate_backend_names():
+    from repro.completion.driver import CompletionOptions
+    from repro.core.options import CpalsOptions
+
+    with pytest.raises(ValueError, match="unknown backend"):
+        CpalsOptions(backend="fortran77")
+    with pytest.raises(ValueError, match="unknown backend"):
+        CompletionOptions(backend="fortran77")
+    # registered-but-possibly-unavailable names are accepted at option
+    # construction; availability is checked at run time
+    CpalsOptions(backend="numba")
+    CompletionOptions(backend="auto")
+
+
+def test_compiled_backends_record_compile_cost():
+    for name in available_backends():
+        bk = get_backend(name)
+        if bk.compiled:
+            # factories run ensure_ready eagerly, so a usable compiled
+            # backend has already paid (and recorded) its one-time cost
+            assert bk.compile_seconds > 0.0
+        else:
+            assert bk.compile_seconds == 0.0
+
+
+# ======================================================================
+# the kernel algorithm, certified in pure Python
+# ======================================================================
+class PurePythonBackend(Backend):
+    """The uncompiled kernels_ref functions behind the Backend interface.
+
+    Slow, but it exercises the exact source numba compiles — proving the
+    *algorithm* (and the packed layout, adapters, and dispatch plumbing)
+    with zero optional dependencies.
+    """
+
+    name = "pyref"
+    compiled = True
+
+    def _prepare(self) -> None:
+        pass
+
+    def root_kernel(self, pk, packed, lo, hi, out):
+        kref.root_kernel(pk.fptr_cat, pk.fptr_off, pk.fids_cat, pk.fids_off,
+                         pk.values, packed, pk.row_off, pk.nmodes, lo, hi, out)
+
+    def internal_kernel(self, pk, packed, level, lo, hi, out):
+        kref.internal_kernel(pk.fptr_cat, pk.fptr_off, pk.fids_cat,
+                             pk.fids_off, pk.values, packed, pk.row_off,
+                             pk.nmodes, level, lo, hi, out)
+
+    def leaf_kernel(self, pk, packed, lo, hi, out):
+        kref.leaf_kernel(pk.fptr_cat, pk.fptr_off, pk.fids_cat, pk.fids_off,
+                         pk.values, packed, pk.row_off, pk.nmodes, lo, hi, out)
+
+    def segment_sum(self, x, starts, out):
+        kref.segment_sum_kernel(x, starts, out)
+
+    def gather_segment_sum(self, x, order, starts, out):
+        kref.gather_segment_sum_kernel(x, order, starts, out)
+
+    def ata(self, a, out):
+        kref.ata_kernel(a, out)
+
+
+def test_pure_python_kernels_pass_warmup_self_check():
+    bk = PurePythonBackend()
+    bk.ensure_ready()  # runs _warmup_check against computed expectations
+    assert bk.compile_seconds > 0.0
+    _warmup_check(bk)  # idempotent on a ready backend
+
+
+@pytest.mark.parametrize("dims,nnz", [((7, 5), 25), ((8, 6, 5), 40),
+                                      ((5, 4, 3, 4), 30)])
+def test_pure_python_mttkrp_matches_dense_reference(dims, nnz):
+    tensor = _random_tensor(seed=3, dims=dims, nnz=nnz)
+    rng = np.random.default_rng(4)
+    factors = [rng.random((d, 3)) for d in tensor.dims]
+    csf_set = build_csf_set(tensor)
+    bk = PurePythonBackend()
+    for mode in range(tensor.nmodes):
+        ref = dense_mttkrp_reference(tensor, factors, mode)
+        out, _ = mttkrp_csf(csf_set, factors, mode, backend=bk)
+        np.testing.assert_allclose(out, ref, rtol=RTOL, atol=ATOL,
+                                   err_msg=f"mode {mode}")
+
+
+# ======================================================================
+# scatter/linalg primitives agree across every available backend
+# ======================================================================
+def _segment_case(rng, n, width, nseg):
+    x = np.ascontiguousarray(rng.standard_normal((n, width)))
+    # strictly increasing starts beginning at 0; last segment runs to n
+    starts = np.sort(rng.choice(np.arange(1, n), size=nseg - 1, replace=False))
+    starts = np.concatenate(([0], starts)).astype(np.int64)
+    order = rng.permutation(n).astype(np.int64)
+    return x, starts, order
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_segment_primitives_match_numpy(backend):
+    ref = get_backend("numpy")
+    bk = get_backend(backend)
+    rng = np.random.default_rng(7)
+    for n, width, nseg in [(40, 3, 6), (12, 1, 12), (30, 5, 2)]:
+        x, starts, order = _segment_case(rng, n, width, nseg)
+        expect = np.empty((nseg, width))
+        got = np.empty((nseg, width))
+        ref.segment_sum(x, starts, expect)
+        bk.segment_sum(x, starts, got)
+        np.testing.assert_allclose(got, expect, rtol=RTOL, atol=ATOL)
+        ref.gather_segment_sum(x, order, starts, expect)
+        bk.gather_segment_sum(x, order, starts, got)
+        np.testing.assert_allclose(got, expect, rtol=RTOL, atol=ATOL)
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_ata_matches_dense_product(backend):
+    bk = get_backend(backend)
+    rng = np.random.default_rng(8)
+    for shape in [(30, 5), (4, 4), (50, 1)]:
+        a = np.ascontiguousarray(rng.standard_normal(shape))
+        out = np.empty((shape[1], shape[1]))
+        bk.ata(a, out)
+        np.testing.assert_allclose(out, a.T @ a, rtol=RTOL, atol=ATOL)
+        np.testing.assert_allclose(out, out.T, rtol=0, atol=0)  # exact symmetry
+
+
+# ======================================================================
+# backend-boundary dtype/layout contract
+# ======================================================================
+def test_canonical_factors_coerce_and_reject():
+    f64 = np.random.default_rng(0).random((6, 3))
+    c = canonical_factors([f64])[0]
+    assert c.dtype == np.float64 and c.flags.c_contiguous
+    f32 = f64.astype(np.float32)
+    fortran = np.asfortranarray(f32.astype(np.float64))
+    a, b = canonical_factors([f32, fortran])
+    # float32 -> float64 is exact, so both routes land on identical bits
+    np.testing.assert_array_equal(a, f32.astype(np.float64))
+    np.testing.assert_array_equal(b, fortran)
+    assert a.flags.c_contiguous and b.flags.c_contiguous
+    with pytest.raises(ValueError, match="must be 2-D"):
+        canonical_factors([np.zeros(3)])
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_exotic_factor_inputs_coerced_identically(backend):
+    """float32 and Fortran-ordered factors produce bit-identical results to
+    their C-contiguous float64 upcasts, for every backend."""
+    tensor = _random_tensor(seed=5)
+    rng = np.random.default_rng(6)
+    f32 = [rng.random((d, 4)).astype(np.float32) for d in tensor.dims]
+    f64 = [np.ascontiguousarray(f, dtype=np.float64) for f in f32]
+    fortran = [np.asfortranarray(f) for f in f64]
+    csf_set = build_csf_set(tensor)
+    for mode in range(tensor.nmodes):
+        base, _ = mttkrp_csf(csf_set, f64, mode, backend=backend)
+        for exotic in (f32, fortran):
+            out, _ = mttkrp_csf(csf_set, exotic, mode, backend=backend)
+            np.testing.assert_array_equal(out, base)
+
+
+# ======================================================================
+# optional-dependency fallback (subprocess: numba genuinely absent)
+# ======================================================================
+_BLOCK_NUMBA = """\
+import importlib.abc
+import sys
+
+class _BlockNumba(importlib.abc.MetaPathFinder):
+    def find_spec(self, name, path=None, target=None):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError("numba blocked by fallback test")
+
+sys.meta_path.insert(0, _BlockNumba())
+"""
+
+
+def _run_blocked(tmp_path, body):
+    """Run ``body`` in a subprocess where importing numba fails and cext is
+    disabled, i.e. the environment of a plain ``pip install repro``."""
+    script = tmp_path / "driver.py"
+    script.write_text(_BLOCK_NUMBA + textwrap.dedent(body))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_BACKEND_DISABLE"] = "cext"
+    env.pop("REPRO_BACKEND", None)
+    return subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, env=env
+    )
+
+
+def test_import_without_numba_registers_only_available(tmp_path):
+    proc = _run_blocked(tmp_path, """
+        from repro.backend import available_backends, registered_backends
+        assert "numba" in registered_backends()
+        assert available_backends() == ["numpy"], available_backends()
+        print("FALLBACK-OK")
+    """)
+    assert proc.returncode == 0, proc.stderr
+    assert "FALLBACK-OK" in proc.stdout
+
+
+def test_auto_silently_falls_back_without_numba(tmp_path):
+    proc = _run_blocked(tmp_path, """
+        import numpy as np
+        from repro.backend import resolve_backend
+        from repro.core.cpals import cp_als
+        from repro.core.options import CpalsOptions
+        from repro.tensor.coo import SparseTensor
+
+        assert resolve_backend("auto").name == "numpy"
+        rng = np.random.default_rng(0)
+        coords = np.stack([rng.integers(0, d, 30) for d in (6, 5, 4)], axis=1)
+        t = SparseTensor(coords, rng.random(30), (6, 5, 4)).deduplicate()
+        r = cp_als(t, 2, CpalsOptions(max_iterations=1, backend="auto"))
+        assert r.engine_stats["backend"] == "numpy"
+        print("AUTO-OK")
+    """)
+    assert proc.returncode == 0, proc.stderr
+    assert "AUTO-OK" in proc.stdout
+    assert "numba" not in proc.stderr  # silence: no warning spam on fallback
+
+
+def test_cli_explicit_numba_fails_actionably_without_numba(tmp_path):
+    tns = tmp_path / "t.tns"
+    tensor = _random_tensor(seed=9)
+    from repro.tensor.io import save_tns
+
+    save_tns(tensor, tns)
+    proc = _run_blocked(tmp_path, f"""
+        from repro.cli import main
+
+        rc = main(["cpd", {str(tns)!r}, "-r", "2", "-i", "1",
+                   "--backend", "numba"])
+        assert rc == 1, rc
+        rc = main(["cpd", {str(tns)!r}, "-r", "2", "-i", "1",
+                   "--backend", "auto"])
+        assert rc == 0, rc
+        print("CLI-OK")
+    """)
+    assert proc.returncode == 0, proc.stderr
+    assert "CLI-OK" in proc.stdout
+    # the failure must tell the user how to get the backend
+    assert "pip install" in proc.stderr
+    assert "repro[numba]" in proc.stderr

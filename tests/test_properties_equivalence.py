@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.backend import available_backends
 from repro.core.cpals import cp_als
 from repro.core.options import CpalsOptions
 from repro.csf.build import build_csf_set
@@ -75,13 +76,21 @@ RUNTIME_CONFIGS = [
     ("fifo", 4, "sync", True, False),
 ]
 
+# Every registered backend that actually works in this environment (numpy
+# always; numba/cext when importable/compilable).  The whole equivalence
+# matrix runs once per backend — the numbers must not depend on who
+# executes the kernels.  This is deliberately NOT a skip: with no compiled
+# backend present the suite still fully validates the numpy reference.
+BACKENDS = available_backends()
+
 
 # ----------------------------------------------------------------------
 # MTTKRP equivalence
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(max_examples=12, deadline=None)
-@given(tensor_and_rank())
-def test_mttkrp_agrees_across_all_runtime_configs(data):
+@given(data=tensor_and_rank())
+def test_mttkrp_agrees_across_all_runtime_configs(backend, data):
     tensor, factors = data
     csf_set = build_csf_set(tensor)
     for mode in range(tensor.nmodes):
@@ -92,10 +101,12 @@ def test_mttkrp_agrees_across_all_runtime_configs(data):
                 csf_set, factors, mode,
                 env=env, mutex_kind=mutex,
                 force_locks=force, amortize=amortize,
+                backend=backend,
             )
             np.testing.assert_allclose(
                 out, reference, rtol=RTOL, atol=ATOL,
-                err_msg=f"mode {mode}, config {(layer, ntasks, mutex, force, amortize)}",
+                err_msg=f"mode {mode}, backend {backend}, "
+                        f"config {(layer, ntasks, mutex, force, amortize)}",
             )
 
 
@@ -159,10 +170,37 @@ def test_cp_als_iteration_agrees_across_layers_and_locks(tensor):
 
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cp_als_agrees_across_backends(backend):
+    """A full multi-iteration CP-ALS run is backend-invariant."""
+    rng = np.random.default_rng(21)
+    dims = (9, 7, 6, 5)
+    coords = np.stack([rng.integers(0, d, size=60) for d in dims], axis=1)
+    tensor = SparseTensor(coords, rng.standard_normal(60), dims).deduplicate()
+
+    def run(bk):
+        opts = CpalsOptions(
+            max_iterations=3, tolerance=0.0, seed=11,
+            env=ChapelEnv(num_tasks=4), backend=bk,
+        )
+        return cp_als(tensor, 3, opts)
+
+    base = run("numpy")
+    other = run(backend)
+    assert other.engine_stats["backend"] == backend
+    assert other.fit == pytest.approx(base.fit, rel=1e-9, abs=1e-12)
+    np.testing.assert_allclose(
+        other.kruskal.weights, base.kruskal.weights, rtol=RTOL, atol=ATOL
+    )
+    for fa, fb in zip(other.kruskal.factors, base.kruskal.factors):
+        np.testing.assert_allclose(fa, fb, rtol=RTOL, atol=ATOL)
+
+
 # ----------------------------------------------------------------------
 # deterministic edge cases (not random: pinned shapes)
 # ----------------------------------------------------------------------
-def test_duplicate_coordinates_are_summed_identically():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_duplicate_coordinates_are_summed_identically(backend):
     coords = np.array([[0, 0, 0], [0, 0, 0], [1, 1, 1], [1, 1, 1], [2, 0, 1]])
     values = np.array([1.0, 2.0, 3.0, -1.0, 5.0])
     tensor = SparseTensor(coords, values, (3, 2, 2)).deduplicate()
@@ -173,11 +211,12 @@ def test_duplicate_coordinates_are_summed_identically():
     for mode in range(3):
         ref = dense_mttkrp_reference(tensor, factors, mode)
         out, _ = mttkrp_csf(csf_set, factors, mode,
-                            env=ChapelEnv(num_tasks=4))
+                            env=ChapelEnv(num_tasks=4), backend=backend)
         np.testing.assert_allclose(out, ref, rtol=RTOL, atol=ATOL)
 
 
-def test_empty_slices_survive_every_config():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_slices_survive_every_config(backend):
     # mode-0 slices 3 and 4 and mode-2 slice 0 are empty
     coords = np.array([[0, 0, 1], [1, 1, 2], [2, 0, 1], [2, 2, 3]])
     values = np.array([1.0, -2.0, 3.0, 4.0])
@@ -192,6 +231,7 @@ def test_empty_slices_survive_every_config():
                 csf_set, factors, mode,
                 env=ChapelEnv(num_tasks=ntasks, tasking_layer=layer),
                 mutex_kind=mutex, force_locks=force, amortize=amortize,
+                backend=backend,
             )
             np.testing.assert_allclose(out, ref, rtol=RTOL, atol=ATOL)
 
