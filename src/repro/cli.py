@@ -16,6 +16,9 @@ workflow over this library:
 ``repro compare A B``      factor match score between saved models
 ``repro reorder X.tns Y``  locality relabeling (degree / random)
 ``repro generate yelp Y``  write a Table I synthetic stand-in to disk
+``repro convert X.tns Y``  convert between tensor formats (``.tns``/
+                           ``.tns.gz`` text, ``.npz`` compressed binary,
+                           ``.tnsb`` flat mmap binary), deduplicating
 ========================  ==================================================
 
 Every subcommand accepts ``--help``.  The benchmark harness has its own
@@ -38,14 +41,33 @@ from repro.core.options import CpalsOptions, DEFAULT_ITERATIONS, DEFAULT_RANK
 from repro.observe import tracing
 from repro.runtime.env import ChapelEnv
 from repro.tensor.generate import DATASET_SIGNATURES, synthetic_dataset
-from repro.tensor.io import load_tns, save_tns
+from repro.tensor.io import (
+    load_binary,
+    load_mmap,
+    load_tns,
+    save_binary,
+    save_mmap,
+    save_tns,
+)
 from repro.tensor.stats import tensor_stats
 
 __all__ = ["main"]
 
 
 def _load(path: str):
-    tensor = load_tns(path)
+    """Load a tensor, dispatching on suffix.
+
+    ``.tnsb`` files are memory-mapped (:func:`load_mmap`) and ``.npz``
+    caches decompressed (:func:`load_binary`); both binary formats are
+    written deduplicated (``repro convert`` dedups), so only the text
+    path pays a duplicate scan here.
+    """
+    p = Path(path)
+    if p.suffix == ".tnsb":
+        return load_mmap(p)
+    if p.suffix == ".npz":
+        return load_binary(p)
+    tensor = load_tns(p)
     dedup = tensor.deduplicate()
     if dedup.nnz != tensor.nnz:
         print(f"note: summed {tensor.nnz - dedup.nnz} duplicate coordinates")
@@ -174,6 +196,51 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cpd_distributed(args: argparse.Namespace, tensor, opts: CpalsOptions):
+    """Run ``cpd`` through the medium-grained distributed driver."""
+    from repro.distributed import distributed_cp_als
+
+    if args.checkpoint or args.resume:
+        raise ValueError(
+            "--checkpoint/--resume are not supported with --locales/--transport "
+            "(distributed runs have no checkpoint format yet)"
+        )
+    if getattr(args, "sanitize", False) and opts.transport == "proc":
+        raise ValueError(
+            "--sanitize instruments in-process tasking and cannot observe "
+            "spawned locale workers; use --transport sim to sanitize"
+        )
+    with _traced(args), _SanitizeScope(args) as san_scope:
+        result = distributed_cp_als(
+            tensor,
+            args.rank,
+            nlocales=opts.locales,
+            transport=opts.transport,
+            backend=opts.backend,
+            max_iterations=opts.max_iterations,
+            tolerance=opts.tolerance,
+            seed=opts.seed,
+        )
+    _report_trace(args)
+    grid = "x".join(str(g) for g in result.grid.shape)
+    comm = result.comm
+    print(f"fit = {result.fit:.6f} after {result.iterations} iterations "
+          f"(converged: {result.converged}) in {result.seconds:.3f}s")
+    print(f"transport: {result.transport}  grid: {grid} "
+          f"({result.grid.nlocales} locales)  "
+          f"nnz imbalance: {result.partition.imbalance:.2f}")
+    print(f"comm: fold {comm.fold_rows} rows / {comm.fold_messages} msgs, "
+          f"expand {comm.expand_rows} rows / {comm.expand_messages} msgs, "
+          f"volume {human_bytes(comm.volume_bytes(args.rank))}")
+    if result.locale_stats:
+        for lrank in sorted(result.locale_stats):
+            stats = result.locale_stats[lrank]
+            mtt = stats.get("span.locale.mttkrp.total_s", 0.0)
+            print(f"  locale {lrank}: mttkrp {mtt:.3f}s "
+                  f"({int(stats.get('span.locale.mttkrp.count', 0))} calls)")
+    return result, san_scope
+
+
 def _cmd_cpd(args: argparse.Namespace) -> int:
     tensor = _load(args.tensor)
     opts = CpalsOptions(
@@ -187,11 +254,16 @@ def _cmd_cpd(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
         backend=args.backend,
+        locales=args.locales,
+        transport=args.transport,
     )
-    with _traced(args), _SanitizeScope(args) as san_scope:
-        result = cp_als(tensor, args.rank, opts)
-    _report_trace(args)
-    print(result.summary())
+    if opts.distributed:
+        result, san_scope = _cmd_cpd_distributed(args, tensor, opts)
+    else:
+        with _traced(args), _SanitizeScope(args) as san_scope:
+            result = cp_als(tensor, args.rank, opts)
+        _report_trace(args)
+        print(result.summary())
     if args.output:
         out = Path(args.output)
         if args.splatt_format:
@@ -303,6 +375,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    tensor = _load(args.input)
+    out = Path(args.output)
+    if out.suffix == ".tnsb":
+        save_mmap(tensor, out)
+        kind = "flat mmap binary (.tnsb)"
+    elif out.suffix == ".npz":
+        save_binary(tensor, out)
+        kind = "compressed binary (.npz)"
+    else:
+        save_tns(tensor, out)
+        kind = "FROSTT text (.tns.gz)" if out.suffix == ".gz" else "FROSTT text (.tns)"
+    print(f"wrote {tensor.nnz} nonzeros "
+          f"({'x'.join(str(d) for d in tensor.dims)}) to {out} as {kind}")
+    return 0
+
+
 def _cmd_reorder(args: argparse.Namespace) -> int:
     from repro.tensor.reorder import reorder_tensor
 
@@ -388,6 +477,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(lambda.mat + mode<N>.mat) instead of .npz")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome-trace-format JSON timeline of the run")
+    p.add_argument("--locales", "-l", type=int, default=1,
+                   help="locale count for distributed CP-ALS (medium-grained "
+                        "grid; default 1 = serial)")
+    p.add_argument("--transport", default="sim", choices=["sim", "proc"],
+                   help="distributed data plane: 'sim' runs locales "
+                        "in-process (metered simulation), 'proc' spawns one "
+                        "worker process per locale exchanging through shared "
+                        "memory — see docs/DISTRIBUTED.md")
     _add_backend_flag(p)
     _add_sanitize_flags(p)
     _add_checkpoint_flags(p)
@@ -436,6 +533,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("convert", help="convert between tensor file formats")
+    p.add_argument("input", help=".tns/.tns.gz text, .npz, or .tnsb input")
+    p.add_argument("output",
+                   help="destination; format chosen by suffix (.tnsb = flat "
+                        "mmap binary for --transport proc, .npz = compressed "
+                        "binary, anything else = FROSTT text)")
+    p.set_defaults(fn=_cmd_convert)
 
     p = sub.add_parser("reorder", help="relabel mode indices for locality")
     p.add_argument("tensor")

@@ -51,6 +51,17 @@ class CpalsOptions:
         See ``docs/BACKENDS.md``.
     seed:
         Seed for the random factor initialization.
+    locales:
+        Locale count for distributed runs.  ``1`` (the default) runs
+        serial :func:`~repro.core.cpals.cp_als`; values > 1 route through
+        :func:`~repro.distributed.cpals.distributed_cp_als` on a
+        :func:`~repro.distributed.grid.choose_grid` grid.
+    transport:
+        Data plane for distributed runs: ``"sim"`` (in-process locales,
+        metered simulation) or ``"proc"`` (spawned worker processes over
+        shared memory — see docs/DISTRIBUTED.md).  Ignored when
+        ``locales == 1`` unless set to ``"proc"``, which forces the
+        distributed path even for a single locale.
     checkpoint_path:
         When set, snapshot the ALS state to this path (atomic ``.npz``,
         see :mod:`repro.resilience.checkpoint`) every
@@ -77,6 +88,8 @@ class CpalsOptions:
     checkpoint_path: str | os.PathLike | None = None
     checkpoint_every: int = 1
     resume_from: str | os.PathLike | None = None
+    locales: int = 1
+    transport: str = "sim"
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -107,3 +120,18 @@ class CpalsOptions:
                     f"unknown backend {self.backend!r}; choose from "
                     f"{', '.join(registered_backends())} or 'auto'"
                 )
+        if self.locales < 1:
+            raise ValueError(f"locales must be >= 1, got {self.locales}")
+        # Imported lazily, like the backend check above: core.options must
+        # not import repro.distributed (which imports core) at module scope.
+        from repro.distributed.transport import TRANSPORTS
+
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; choose from {TRANSPORTS}"
+            )
+
+    @property
+    def distributed(self) -> bool:
+        """Whether this configuration routes through distributed CP-ALS."""
+        return self.locales > 1 or self.transport == "proc"

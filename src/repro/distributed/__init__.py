@@ -10,20 +10,40 @@ update is a local MTTKRP followed by a fold (reduce partial rows to their
 owners) and an expand (broadcast updated rows to the locales that need
 them).
 
-We have no cluster, so per DESIGN.md's substitution rule the *locales are
-simulated in-process*: each locale holds a real sub-tensor (its own CSF),
-computes real local MTTKRPs, and the fold/expand exchanges are performed
-(and metered) explicitly.  The result is numerically identical to serial
-CP-ALS — asserted in the tests — while
+We have no cluster, so the locales run on one node behind a pluggable
+:class:`~repro.distributed.transport.Transport` (docs/DISTRIBUTED.md):
+
+* ``"sim"`` — per DESIGN.md's substitution rule, locales execute
+  *in-process*: each holds a real sub-tensor (its own CSF), computes real
+  local MTTKRPs, and the fold/expand exchanges are performed (and
+  metered) explicitly.
+* ``"proc"`` — real scale-out: one spawned worker process per non-empty
+  locale, with the packed COO arrays, factor matrices, λ and per-locale
+  MTTKRP partials mapped zero-copy through
+  :class:`multiprocessing.shared_memory` segments
+  (:mod:`repro.distributed.shm`); fold/expand are a medium-grained
+  all-reduce over those segments, mirroring the shared-mapped-memory
+  interoperation of Geronimo Anderson & Dunlavy (arXiv:2310.10872).
+
+Either way the result is numerically equivalent to serial CP-ALS —
+asserted in the tests — while
 :class:`~repro.distributed.comm.CommStats` records exactly the message
 counts and communication volumes the real algorithm would put on the wire,
 which is the quantity the medium-grained paper optimizes.
 """
 
-from repro.distributed.comm import CommStats
+from repro.distributed.comm import CommStats, exchange_counts
 from repro.distributed.cpals import DistributedResult, distributed_cp_als
 from repro.distributed.grid import LocaleGrid, choose_grid
 from repro.distributed.partition import MediumGrainPartition, partition_medium_grain
+from repro.distributed.shm import ShmArena, leaked_segments
+from repro.distributed.transport import (
+    TRANSPORTS,
+    ProcTransport,
+    SimTransport,
+    Transport,
+    make_transport,
+)
 
 __all__ = [
     "LocaleGrid",
@@ -31,6 +51,14 @@ __all__ = [
     "MediumGrainPartition",
     "partition_medium_grain",
     "CommStats",
+    "exchange_counts",
     "distributed_cp_als",
     "DistributedResult",
+    "Transport",
+    "SimTransport",
+    "ProcTransport",
+    "make_transport",
+    "TRANSPORTS",
+    "ShmArena",
+    "leaked_segments",
 ]

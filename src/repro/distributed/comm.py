@@ -31,7 +31,7 @@ from repro.observe import spans as _obs
 from repro.resilience import fault as _flt
 from repro.resilience import retry as _rty
 
-__all__ = ["CommStats", "fold_exchange", "expand_exchange"]
+__all__ = ["CommStats", "exchange_counts", "fold_exchange", "expand_exchange"]
 
 _BYTES_PER_VALUE = VALUE_DTYPE().itemsize  # 8
 
@@ -126,6 +126,30 @@ def _resilient_send(stats: CommStats, site: str, messages: int) -> None:
                 _obs.count("comm.degraded")
                 return
             raise
+
+
+def exchange_counts(part, grid, mode: int, rows) -> tuple[int, int]:
+    """Rows and messages one locale puts on the wire for one layer
+    collective (identical for fold and expand — the patterns are duals).
+
+    ``rows`` is the locale's touched mode-``mode`` index array.  Within its
+    layer each locale owns an even share of the layer's factor-row block;
+    everything it touches beyond that share crosses the interconnect, in a
+    reduce-scatter (fold) or allgather (expand) of ``layer_size - 1``
+    messages.  A locale with no touched rows exchanges nothing.
+
+    This is the single audited home of the metering math — both the fold
+    and expand loops of every transport call it, so the two directions can
+    never drift apart again.
+    """
+    if rows.size == 0:
+        return 0, 0
+    layer = part.layer_of_index(mode, int(rows[0]))
+    lo, hi = part.row_block(mode, layer)
+    layer_size = grid.layer_size(mode, layer)
+    own = (hi - lo) // max(layer_size, 1)
+    sent = max(int(rows.size) - own, 0)
+    return sent, max(layer_size - 1, 0)
 
 
 def fold_exchange(stats: CommStats, mode: int, rows: int, messages: int) -> None:

@@ -60,6 +60,17 @@ class LocaleGrid:
             self.rank_of(c) for c in self.coords() if c[mode] == layer
         ]
 
+    def layer_size(self, mode: int, layer: int) -> int:
+        """Locales in one layer of ``mode`` (``Π shape / shape[mode]``).
+
+        Validates ``layer`` like :meth:`layer_ranks` but without building
+        the coordinate list — the comm-metering hot helper calls this per
+        exchange.
+        """
+        if not 0 <= layer < self.shape[mode]:
+            raise ValueError(f"layer {layer} out of range for mode {mode} of {self.shape}")
+        return self.nlocales // self.shape[mode]
+
 
 def _prime_factors(n: int) -> list[int]:
     out = []

@@ -90,6 +90,22 @@ class MediumGrainPartition:
         b = self.chunk_bounds[mode]
         return int(np.searchsorted(b, index, side="right") - 1)
 
+    def packed_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All locales' nonzeros packed back-to-back, for shared mapping.
+
+        Returns ``(coords, values, offsets)`` where locale ``l``'s rows are
+        ``coords[offsets[l]:offsets[l+1]]`` (empty locales get an empty
+        range).  The multi-process transport copies these once into
+        shared-memory segments; each worker then takes a zero-copy row
+        slice — the packed layout exists so one segment serves every
+        locale.
+        """
+        counts = np.asarray([t.nnz for t in self.locale_tensors], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        coords = np.concatenate([t.coords for t in self.locale_tensors], axis=0)
+        values = np.concatenate([t.values for t in self.locale_tensors])
+        return coords, values, offsets
+
 
 def partition_medium_grain(tensor: SparseTensor, grid: LocaleGrid) -> MediumGrainPartition:
     """Cut ``tensor`` over ``grid`` (see module docstring)."""

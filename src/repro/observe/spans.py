@@ -261,6 +261,24 @@ class TraceRecorder:
             self._gauges[name] = value
             self.events_recorded += 1
 
+    def absorb(self, metrics: dict[str, float], *, prefix: str = "") -> None:
+        """Merge an external flat numeric metrics dict into the counters.
+
+        The multi-process transport uses this to fold each locale worker's
+        span/counter summary (collected by a recorder in *that* process)
+        into the driver's trace as ``{prefix}{name}`` counters — the
+        per-locale numbers then ride along in :meth:`metrics`, the Chrome
+        trace export and every downstream consumer.  Non-numeric values
+        are ignored; counts accumulate across repeated absorbs.
+        """
+        with self._lock:
+            for name, value in metrics.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                key = f"{prefix}{name}"
+                self._counters[key] = self._counters.get(key, 0) + value
+                self.events_recorded += 1
+
     # ------------------------------------------------------------------
     def finished_spans(self) -> list[SpanRecord]:
         """Completed spans, ordered by start time."""

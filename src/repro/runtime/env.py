@@ -11,7 +11,50 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, replace
 
-__all__ = ["ChapelEnv", "TASKING_LAYERS", "DEFAULT_SPINCOUNT"]
+__all__ = ["ChapelEnv", "TASKING_LAYERS", "DEFAULT_SPINCOUNT", "limit_blas_threads"]
+
+#: Environment variables that size the BLAS/OpenMP thread pools numpy's
+#: backing libraries create at import time.
+_BLAS_THREAD_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+class limit_blas_threads:
+    """Pin BLAS/OpenMP pool sizes in ``os.environ`` for a ``with`` block.
+
+    The multi-process transport spawns one worker per locale; each spawned
+    interpreter imports numpy fresh and sizes its BLAS pools from the
+    environment *it inherits at spawn time*.  Wrapping the spawns in
+    ``limit_blas_threads(1)`` gives every locale a single-threaded BLAS —
+    the paper's own setting (Table II pins ``OMP_NUM_THREADS=1``) and the
+    only way N locales on N cores avoid oversubscription.  The previous
+    values are restored on exit, so the driver process is unaffected.
+    """
+
+    def __init__(self, nthreads: int = 1):
+        if nthreads < 1:
+            raise ValueError(f"nthreads must be >= 1, got {nthreads}")
+        self.nthreads = nthreads
+        self._saved: dict[str, str | None] = {}
+
+    def __enter__(self) -> "limit_blas_threads":
+        for var in _BLAS_THREAD_VARS:
+            self._saved[var] = os.environ.get(var)
+            os.environ[var] = str(self.nthreads)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        for var, prev in self._saved.items():
+            if prev is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = prev
+        self._saved.clear()
+        return False
 
 TASKING_LAYERS: tuple[str, ...] = ("qthreads", "fifo")
 

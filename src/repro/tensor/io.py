@@ -7,8 +7,15 @@ SPLATT reads whitespace-separated text files where each line holds the
     2 7 3 0.5
 
 We reproduce that reader/writer (``load_tns`` / ``save_tns``), including
-comment lines (``#``) and blank-line tolerance, plus a fast ``.npz`` binary
-round-trip used by the benchmark harness to cache generated datasets.
+comment lines (``#``) and blank-line tolerance, plus two binary formats:
+
+* ``.npz`` (``save_binary`` / ``load_binary``) — compressed cache used by
+  the benchmark harness;
+* ``.tnsb`` (``save_mmap`` / ``load_mmap``) — a flat uncompressed layout
+  whose coordinate and value arrays are returned as *read-only memory
+  maps*.  The multi-process transport relies on this: the driver maps the
+  file once and the page cache shares the bytes with every locale worker,
+  so a tensor is never loaded (or pickled) more than once per node.
 """
 
 from __future__ import annotations
@@ -22,7 +29,15 @@ import numpy as np
 from repro._util import INDEX_DTYPE, VALUE_DTYPE
 from repro.tensor.coo import SparseTensor
 
-__all__ = ["load_tns", "save_tns", "load_binary", "save_binary"]
+__all__ = [
+    "load_tns",
+    "save_tns",
+    "load_binary",
+    "save_binary",
+    "load_mmap",
+    "save_mmap",
+    "MMAP_MAGIC",
+]
 
 
 def _open_text(path: Path, mode: str):
@@ -101,6 +116,22 @@ def load_tns(
         raise ValueError(f"{path}: coordinate underflow (is the file really 1-indexed?)")
     if dims is None:
         dims = tuple(int(coords[:, m].max()) + 1 for m in range(nmodes))
+    else:
+        dims = tuple(int(d) for d in dims)
+        if len(dims) != nmodes:
+            raise ValueError(
+                f"{path}: dims has {len(dims)} modes but the file has {nmodes} "
+                "(coordinates per line minus the value field)"
+            )
+        out_of_range = (coords >= np.asarray(dims, dtype=INDEX_DTYPE)).any(axis=1)
+        if out_of_range.any():
+            i = int(np.argmax(out_of_range))
+            lineno = rows[i][0]
+            coord = tuple(int(c) + (1 if one_indexed else 0) for c in coords[i])
+            raise ValueError(
+                f"{path}:{lineno}: coordinate {coord} exceeds dims {dims} "
+                f"({'1' if one_indexed else '0'}-indexed)"
+            )
     name = path.stem
     if name.endswith(".tns"):
         name = name[: -len(".tns")]
@@ -123,10 +154,28 @@ def save_tns(
             fh.write(f"{idx} {float(value)!r}\n")
 
 
+def _npz_path(path: str | os.PathLike) -> Path:
+    """The path ``np.savez_compressed`` actually writes for ``path``.
+
+    ``savez_compressed`` silently appends ``.npz`` when the suffix is
+    missing; ``np.load`` does not.  Both :func:`save_binary` and
+    :func:`load_binary` normalize through this helper so a round-trip with
+    a suffixless path names the same file on both sides.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_binary(tensor: SparseTensor, path: str | os.PathLike) -> None:
-    """Cache a tensor as compressed ``.npz`` (fast benchmark-harness format)."""
+    """Cache a tensor as compressed ``.npz`` (fast benchmark-harness format).
+
+    A missing ``.npz`` suffix is appended, matching what
+    ``np.savez_compressed`` would do anyway — see :func:`_npz_path`.
+    """
     np.savez_compressed(
-        Path(path),
+        _npz_path(path),
         coords=tensor.coords,
         values=tensor.values,
         dims=np.asarray(tensor.dims, dtype=INDEX_DTYPE),
@@ -135,11 +184,99 @@ def save_binary(tensor: SparseTensor, path: str | os.PathLike) -> None:
 
 
 def load_binary(path: str | os.PathLike) -> SparseTensor:
-    """Load a tensor cached with :func:`save_binary`."""
-    with np.load(Path(path), allow_pickle=False) as data:
+    """Load a tensor cached with :func:`save_binary`.
+
+    Applies the same ``.npz`` suffix normalization as :func:`save_binary`,
+    so ``load_binary(p)`` always finds what ``save_binary(p)`` wrote.
+    """
+    with np.load(_npz_path(path), allow_pickle=False) as data:
         return SparseTensor(
             data["coords"],
             data["values"],
             tuple(int(d) for d in data["dims"]),
             name=str(data["name"]),
         )
+
+
+#: Magic bytes opening every ``.tnsb`` flat binary tensor file.
+MMAP_MAGIC = b"RPTNSB01"
+
+#: Header layout after the magic: int64 ``nmodes``, int64 ``nnz``, then
+#: ``nmodes`` int64 dims; coords (``nnz × nmodes`` int64, C order) and
+#: values (``nnz`` float64) follow back-to-back.
+_HEADER_DTYPE = np.dtype(np.int64)
+
+
+def save_mmap(tensor: SparseTensor, path: str | os.PathLike) -> None:
+    """Write a tensor in the flat ``.tnsb`` layout read by :func:`load_mmap`.
+
+    The layout is deliberately trivial — magic, int64 header, raw
+    little-endian arrays — so :func:`load_mmap` can hand back zero-copy
+    ``np.memmap`` views instead of parsing anything.
+    """
+    path = Path(path)
+    coords = np.ascontiguousarray(tensor.coords, dtype=INDEX_DTYPE)
+    values = np.ascontiguousarray(tensor.values, dtype=VALUE_DTYPE)
+    header = np.array(
+        [tensor.nmodes, tensor.nnz, *tensor.dims], dtype=_HEADER_DTYPE
+    )
+    with path.open("wb") as fh:
+        fh.write(MMAP_MAGIC)
+        fh.write(header.tobytes())
+        fh.write(coords.tobytes())
+        fh.write(values.tobytes())
+
+
+def load_mmap(path: str | os.PathLike) -> SparseTensor:
+    """Map a ``.tnsb`` file as a tensor backed by read-only ``np.memmap``.
+
+    The coordinate and value arrays are views over the page cache — the
+    file's bytes are shared with every other process that maps it, which
+    is how the multi-process transport loads a tensor exactly once per
+    node.  The returned arrays are read-only; callers that must mutate
+    (e.g. :func:`~repro.tensor.dedup.deduplicate`) get a copy-on-write
+    copy from numpy automatically when they ``np.array`` them.
+    """
+    path = Path(path)
+    with path.open("rb") as fh:
+        magic = fh.read(len(MMAP_MAGIC))
+        if magic != MMAP_MAGIC:
+            raise ValueError(
+                f"{path}: not a .tnsb tensor (bad magic {magic!r}; "
+                f"expected {MMAP_MAGIC!r})"
+            )
+        fixed = np.frombuffer(fh.read(2 * _HEADER_DTYPE.itemsize), dtype=_HEADER_DTYPE)
+        if fixed.size != 2:
+            raise ValueError(f"{path}: truncated .tnsb header")
+        nmodes, nnz = int(fixed[0]), int(fixed[1])
+        if nmodes < 1 or nnz < 0:
+            raise ValueError(f"{path}: corrupt .tnsb header (nmodes={nmodes}, nnz={nnz})")
+        dims_raw = np.frombuffer(
+            fh.read(nmodes * _HEADER_DTYPE.itemsize), dtype=_HEADER_DTYPE
+        )
+        if dims_raw.size != nmodes:
+            raise ValueError(f"{path}: truncated .tnsb dims")
+        dims = tuple(int(d) for d in dims_raw)
+        data_start = fh.tell()
+
+    coords_bytes = nnz * nmodes * np.dtype(INDEX_DTYPE).itemsize
+    values_bytes = nnz * np.dtype(VALUE_DTYPE).itemsize
+    expected = data_start + coords_bytes + values_bytes
+    actual = path.stat().st_size
+    if actual < expected:
+        raise ValueError(
+            f"{path}: truncated .tnsb payload ({actual} bytes, expected {expected})"
+        )
+
+    coords = np.memmap(
+        path, dtype=INDEX_DTYPE, mode="r", offset=data_start, shape=(nnz, nmodes)
+    )
+    values = np.memmap(
+        path, dtype=VALUE_DTYPE, mode="r",
+        offset=data_start + coords_bytes, shape=(nnz,),
+    )
+    name = path.stem
+    for ext in (".tnsb", ".tns"):
+        if name.endswith(ext):
+            name = name[: -len(ext)]
+    return SparseTensor(coords, values, dims, name=name)

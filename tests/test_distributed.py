@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.cpals import cp_als
 from repro.core.options import CpalsOptions
@@ -190,3 +191,120 @@ class TestDistributedCpAls:
         t = SparseTensor(np.empty((0, 3), dtype=int), np.empty(0), (4, 4, 4))
         with pytest.raises(ValueError, match="empty"):
             distributed_cp_als(t, 2)
+
+
+class TestExchangeCounts:
+    """The single audited home of the fold/expand metering math."""
+
+    def _setup(self, tensor, shape):
+        grid = LocaleGrid(shape)
+        part = partition_medium_grain(tensor, grid)
+        return part, grid
+
+    def test_empty_rows_exchange_nothing(self, tensor):
+        from repro.distributed.comm import exchange_counts
+
+        part, grid = self._setup(tensor, (2, 2, 2))
+        sent, msgs = exchange_counts(part, grid, 0, np.empty(0, dtype=np.int64))
+        assert (sent, msgs) == (0, 0)
+
+    def test_single_layer_mode_no_messages(self, tensor):
+        """A mode the grid does not cut has layer_size == nlocales; rows
+        beyond the locale's share still count, but with grid dim 1 the
+        whole mode is one layer shared by all locales."""
+        from repro.distributed.comm import exchange_counts
+
+        part, grid = self._setup(tensor, (4, 1, 1))
+        # mode 0 is cut into 4 single-locale layers: no neighbours, and
+        # each locale owns its whole block -> nothing on the wire.
+        lo, hi = part.row_block(0, 0)
+        rows = np.arange(lo, min(hi, lo + 5), dtype=np.int64)
+        sent, msgs = exchange_counts(part, grid, 0, rows)
+        assert msgs == 0 and sent == 0
+
+    def test_touched_beyond_share_is_sent(self, tensor):
+        from repro.distributed.comm import exchange_counts
+
+        part, grid = self._setup(tensor, (2, 2, 1))
+        # mode 2 is uncut: every locale shares the single layer with all
+        # 4 locales, owning a quarter of the block.
+        lo, hi = part.row_block(2, 0)
+        rows = np.arange(lo, hi, dtype=np.int64)  # touches every row
+        sent, msgs = exchange_counts(part, grid, 2, rows)
+        own = (hi - lo) // 4
+        assert sent == (hi - lo) - own
+        assert msgs == 3  # layer_size - 1
+
+    def test_matches_inline_driver_metering(self, tensor):
+        """exchange_counts is what the driver actually meters with: the
+        fold and expand totals must be exactly symmetric."""
+        res = distributed_cp_als(tensor, 2, nlocales=4, max_iterations=2,
+                                 tolerance=0)
+        assert res.comm.fold_rows == res.comm.expand_rows
+        assert res.comm.fold_messages == res.comm.expand_messages
+        for mode, (f, e) in res.comm.per_mode.items():
+            assert f == e, f"mode {mode} fold/expand drifted"
+
+
+class TestTransportParam:
+    def test_sim_transport_explicit(self, tensor):
+        """transport='sim' is the default and changes nothing."""
+        a = distributed_cp_als(tensor, 2, nlocales=4, max_iterations=3,
+                               tolerance=0, seed=1)
+        b = distributed_cp_als(tensor, 2, nlocales=4, transport="sim",
+                               max_iterations=3, tolerance=0, seed=1)
+        assert a.fit == b.fit
+        assert a.comm == b.comm
+        assert a.transport == b.transport == "sim"
+        assert a.locale_stats == {}
+
+    def test_unknown_transport_rejected(self, tensor):
+        with pytest.raises(ValueError, match="unknown transport"):
+            distributed_cp_als(tensor, 2, nlocales=2, transport="mpi")
+
+
+class TestCommStatsMergeProperty:
+    """Merging the stats of a split run must equal the unsplit run."""
+
+    @staticmethod
+    def _record(stats, events):
+        for kind, mode, rows, msgs in events:
+            if kind == 0:
+                stats.record_fold(mode, rows, msgs)
+            else:
+                stats.record_expand(mode, rows, msgs)
+
+    _event = st.tuples(
+        st.integers(min_value=0, max_value=1),   # fold / expand
+        st.integers(min_value=0, max_value=4),   # mode
+        st.integers(min_value=0, max_value=100),  # rows
+        st.integers(min_value=0, max_value=10),  # messages
+    )
+    _resilience = st.tuples(
+        st.integers(min_value=0, max_value=5),   # faults_injected
+        st.integers(min_value=0, max_value=5),   # retries
+        st.integers(min_value=0, max_value=50),  # retried_messages
+        st.floats(min_value=0, max_value=10, allow_nan=False),  # backoff
+        st.integers(min_value=0, max_value=3),   # degraded
+    )
+
+    @given(events=st.lists(_event, max_size=40),
+           split=st.integers(min_value=0, max_value=40),
+           res_a=_resilience, res_b=_resilience)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_of_split_equals_unsplit(self, events, split, res_a, res_b):
+        split = min(split, len(events))
+        whole, left, right = CommStats(), CommStats(), CommStats()
+        self._record(whole, events)
+        self._record(left, events[:split])
+        self._record(right, events[split:])
+        for stats, res in ((left, res_a), (right, res_b)):
+            (stats.faults_injected, stats.retries, stats.retried_messages,
+             stats.backoff_seconds, stats.degraded_exchanges) = res
+        whole.faults_injected = res_a[0] + res_b[0]
+        whole.retries = res_a[1] + res_b[1]
+        whole.retried_messages = res_a[2] + res_b[2]
+        whole.backoff_seconds = res_a[3] + res_b[3]
+        whole.degraded_exchanges = res_a[4] + res_b[4]
+        left.merge(right)
+        assert left == whole

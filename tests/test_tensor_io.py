@@ -145,3 +145,138 @@ class TestBinary:
         path = tmp_path / "one.npz"
         save_binary(t, path)
         assert load_binary(path) == t
+
+
+class TestBinarySuffix:
+    """Regression: save_binary('cache') wrote cache.npz (np.savez appends
+    the suffix) while load_binary('cache') opened 'cache' verbatim."""
+
+    def test_suffixless_roundtrip(self, small_tensor, tmp_path):
+        path = tmp_path / "cache"  # no suffix on either side
+        save_binary(small_tensor, path)
+        assert (tmp_path / "cache.npz").exists()
+        assert load_binary(path) == small_tensor
+
+    def test_explicit_suffix_unchanged(self, small_tensor, tmp_path):
+        path = tmp_path / "cache.npz"
+        save_binary(small_tensor, path)
+        assert load_binary(path) == small_tensor
+        assert not (tmp_path / "cache.npz.npz").exists()
+
+    def test_foreign_suffix_gets_npz_appended(self, small_tensor, tmp_path):
+        # np.savez_compressed would do this to the save; the load must match.
+        path = tmp_path / "cache.v2"
+        save_binary(small_tensor, path)
+        assert (tmp_path / "cache.v2.npz").exists()
+        assert load_binary(path) == small_tensor
+
+
+class TestDimsValidation:
+    """Explicit dims= must reject out-of-range coordinates with the file
+    line number, like the other load_tns diagnostics."""
+
+    def test_out_of_range_carries_line_number(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("# header\n1 1 1 1.0\n\n9 2 1 2.0\n")
+        with pytest.raises(ValueError, match=r"t\.tns:4: coordinate \(9, 2, 1\)"):
+            load_tns(path, dims=(4, 4, 4))
+
+    def test_zero_indexed_out_of_range(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("0 0 0 1.0\n3 0 0 2.0\n")
+        with pytest.raises(ValueError, match=r"t\.tns:2: .*0-indexed"):
+            load_tns(path, dims=(3, 3, 3), one_indexed=False)
+
+    def test_dims_arity_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1 1.0\n")
+        with pytest.raises(ValueError, match="dims has 2 modes but the file has 3"):
+            load_tns(path, dims=(4, 4))
+
+    def test_exact_fit_dims_accepted(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 1 1 1.0\n4 4 4 2.0\n")
+        t = load_tns(path, dims=(4, 4, 4))
+        assert t.dims == (4, 4, 4)
+
+
+class TestGzipValues:
+    def test_gz_values_exact_via_repr(self, tmp_path):
+        """save_tns writes repr(float): doubles survive a .tns.gz
+        round-trip bit-for-bit, not merely approximately."""
+        values = np.array([1 / 3, 1e-17, -2.5000000000000004, np.pi])
+        t = SparseTensor(
+            np.arange(12).reshape(4, 3) % 3, values, (3, 3, 3), name="exact"
+        )
+        path = tmp_path / "exact.tns.gz"
+        save_tns(t, path)
+        loaded = load_tns(path, dims=t.dims)
+        assert loaded.values.tolist() == values.tolist()  # exact, no tolerance
+
+    def test_gz_double_suffix_name_stripped(self, small_tensor, tmp_path):
+        path = tmp_path / "frostt.tns.gz"
+        save_tns(small_tensor, path)
+        assert load_tns(path, dims=small_tensor.dims).name == "frostt"
+
+
+class TestMmapFormat:
+    def test_roundtrip(self, small_tensor, tmp_path):
+        from repro.tensor.io import load_mmap, save_mmap
+
+        path = tmp_path / "t.tnsb"
+        save_mmap(small_tensor, path)
+        loaded = load_mmap(path)
+        np.testing.assert_array_equal(loaded.coords, small_tensor.coords)
+        np.testing.assert_array_equal(loaded.values, small_tensor.values)
+        assert loaded.dims == small_tensor.dims
+        assert loaded.name == "t"
+
+    def test_arrays_are_zero_copy_readonly_maps(self, small_tensor, tmp_path):
+        from repro.tensor.io import load_mmap, save_mmap
+
+        path = tmp_path / "t.tnsb"
+        save_mmap(small_tensor, path)
+        loaded = load_mmap(path)
+        assert isinstance(loaded.coords.base, np.memmap)
+        assert isinstance(loaded.values.base, np.memmap)
+        assert not loaded.coords.flags.owndata
+        assert not loaded.coords.flags.writeable
+        assert not loaded.values.flags.writeable
+
+    def test_name_strips_tnsb_and_tns(self, small_tensor, tmp_path):
+        from repro.tensor.io import load_mmap, save_mmap
+
+        path = tmp_path / "mydata.tns.tnsb"
+        save_mmap(small_tensor, path)
+        assert load_mmap(path).name == "mydata"
+
+    def test_bad_magic_rejected(self, tmp_path):
+        from repro.tensor.io import load_mmap
+
+        path = tmp_path / "t.tnsb"
+        path.write_bytes(b"NOTMAGIC" + b"\0" * 64)
+        with pytest.raises(ValueError, match="bad magic"):
+            load_mmap(path)
+
+    def test_truncated_payload_rejected(self, small_tensor, tmp_path):
+        from repro.tensor.io import save_mmap, load_mmap
+
+        path = tmp_path / "t.tnsb"
+        save_mmap(small_tensor, path)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-16])
+        with pytest.raises(ValueError, match="truncated"):
+            load_mmap(path)
+
+    def test_decomposes_from_map(self, small_tensor, tmp_path):
+        """A mapped tensor feeds CP-ALS (and CSF construction) unmodified."""
+        from repro.core.cpals import cp_als
+        from repro.core.options import CpalsOptions
+        from repro.tensor.io import load_mmap, save_mmap
+
+        path = tmp_path / "t.tnsb"
+        save_mmap(small_tensor, path)
+        mapped = load_mmap(path)
+        direct = cp_als(small_tensor, 2, CpalsOptions(max_iterations=3, tolerance=0))
+        via_map = cp_als(mapped, 2, CpalsOptions(max_iterations=3, tolerance=0))
+        assert via_map.fits[-1] == direct.fits[-1]
