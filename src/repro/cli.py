@@ -19,6 +19,12 @@ workflow over this library:
 ``repro convert X.tns Y``  convert between tensor formats (``.tns``/
                            ``.tns.gz`` text, ``.npz`` compressed binary,
                            ``.tnsb`` flat mmap binary), deduplicating
+``repro serve``            long-lived decomposition daemon: warm plan
+                           caches, job batching, per-tenant quotas,
+                           metrics scrape (docs/SERVING.md)
+``repro submit X.tns``     submit a job to a running daemon (also carries
+                           --status/--suspend/--resume/--metrics/
+                           --shutdown operations)
 ========================  ==================================================
 
 Every subcommand accepts ``--help``.  The benchmark harness has its own
@@ -200,11 +206,9 @@ def _cmd_cpd_distributed(args: argparse.Namespace, tensor, opts: CpalsOptions):
     """Run ``cpd`` through the medium-grained distributed driver."""
     from repro.distributed import distributed_cp_als
 
-    if args.checkpoint or args.resume:
-        raise ValueError(
-            "--checkpoint/--resume are not supported with --locales/--transport "
-            "(distributed runs have no checkpoint format yet)"
-        )
+    # checkpoint/resume × distributed is rejected by CpalsOptions itself
+    # (the options object cannot be constructed), so the CLI and the
+    # programmatic API agree by construction.
     if getattr(args, "sanitize", False) and opts.transport == "proc":
         raise ValueError(
             "--sanitize instruments in-process tasking and cannot observe "
@@ -392,6 +396,118 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QuotaPolicy, ReproServer, ServeConfig, TenantQuotas
+
+    quotas = QuotaPolicy(TenantQuotas(
+        max_nnz=args.max_nnz,
+        max_resident_bytes=args.max_resident_bytes,
+        max_queued_jobs=args.max_queued_jobs,
+    ))
+    fault_targets = []
+    for spec in args.fault or []:
+        site, _, occurrence = spec.rpartition(":")
+        if not site or not occurrence.isdigit():
+            print(f"error: --fault wants SITE:OCCURRENCE, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        fault_targets.append((site, int(occurrence)))
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+        tasks=args.tasks,
+        backend=args.backend,
+        spool=args.spool,
+        quotas=quotas,
+        max_job_retries=args.max_job_retries,
+        sanitize=args.sanitize,
+        sanitize_seed=args.sanitize_seed,
+        fault_targets=fault_targets,
+    )
+    server = ReproServer(config).start()
+    try:
+        print(f"serving on {args.host}:{server.port} "
+              f"(backend: {server.engine.backend.name}, tasks: {args.tasks})",
+              flush=True)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{server.port}\n")
+        try:
+            server.wait_for_shutdown()
+        except KeyboardInterrupt:
+            print("interrupted; shutting down", flush=True)
+    finally:
+        server.close()
+    if server.sanitize_report is not None:
+        print(server.sanitize_report.render())
+        if not server.sanitize_report.ok:
+            return 1
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    def show(payload) -> None:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+
+    try:
+        with ServeClient(host=args.host, port=args.port,
+                         tenant=args.tenant) as client:
+            if args.metrics:
+                response = client.metrics(
+                    format="prometheus" if args.prometheus else "json")
+                if args.prometheus:
+                    print(response["text"], end="")
+                else:
+                    show(response["metrics"])
+                return 0
+            if args.shutdown:
+                client.shutdown()
+                print("server shutting down")
+                return 0
+            for job_id, op in ((args.status, client.status),
+                               (args.suspend, client.suspend),
+                               (args.resume, client.resume),
+                               (args.cancel, client.cancel)):
+                if job_id:
+                    show(op(job_id))
+                    return 0
+            if args.spec:
+                raw = args.spec
+                if raw.startswith("@"):
+                    raw = Path(raw[1:]).read_text()
+                spec = json.loads(raw)
+            elif args.tensor:
+                spec = {"kind": args.kind, "tensor": str(Path(args.tensor).resolve()),
+                        "rank": args.rank, "iterations": args.iterations,
+                        "seed": args.seed}
+            else:
+                print("error: give a tensor file, --spec JSON, or an op flag "
+                      "(--metrics/--status/--suspend/--resume/--cancel/--shutdown)",
+                      file=sys.stderr)
+                return 2
+            submitted = client.submit(spec)
+            if args.no_wait:
+                show(submitted)
+                return 0
+            finished = client.wait(submitted["id"], timeout=args.timeout)
+            show(finished)
+            return 0 if finished["job"]["state"] in ("done", "suspended") else 1
+    except ServeError as exc:
+        print(json.dumps({"code": exc.code, "message": str(exc),
+                          **{k: v for k, v in exc.error.items()
+                             if k not in ("code", "message")}},
+                         indent=2, sort_keys=True), file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach server at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
 def _cmd_reorder(args: argparse.Namespace) -> int:
     from repro.tensor.reorder import reorder_tensor
 
@@ -541,6 +657,71 @@ def _build_parser() -> argparse.ArgumentParser:
                         "mmap binary for --transport proc, .npz = compressed "
                         "binary, anything else = FROSTT text)")
     p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived decomposition daemon (see docs/SERVING.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", "-p", type=int, default=7461,
+                   help="TCP port (0 picks a free one; see --port-file)")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound port here once listening (for "
+                        "scripts using --port 0)")
+    p.add_argument("--tasks", "-t", type=int, default=1,
+                   help="worker-pool size shared by every job")
+    p.add_argument("--batch-window", type=float, default=0.05, metavar="S",
+                   help="seconds to hold the queue open so same-shape jobs "
+                        "group into one batch (default: 0.05)")
+    p.add_argument("--spool", metavar="DIR",
+                   help="checkpoint spool directory for suspend/resume "
+                        "(default: a fresh temp dir)")
+    p.add_argument("--max-nnz", type=int, default=0, metavar="N",
+                   help="per-job tensor nonzero cap, all tenants (0 = off)")
+    p.add_argument("--max-resident-bytes", type=int, default=0, metavar="N",
+                   help="per-tenant pinned tensor byte cap (0 = off)")
+    p.add_argument("--max-queued-jobs", type=int, default=0, metavar="N",
+                   help="per-tenant queued+running job cap (0 = off)")
+    p.add_argument("--max-job-retries", type=int, default=2, metavar="N",
+                   help="retries for jobs failed by injected faults")
+    p.add_argument("--fault", action="append", metavar="SITE:OCCURRENCE",
+                   help="install a fault-injection target (repeatable), e.g. "
+                        "serve.job:2 fails the second job attempt served")
+    _add_backend_flag(p)
+    _add_sanitize_flags(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job to (or operate on) a running repro serve daemon")
+    p.add_argument("tensor", nargs="?",
+                   help="tensor file to decompose (resolved to an absolute "
+                        "path — the daemon reads it server-side)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", "-p", type=int, default=7461)
+    p.add_argument("--tenant", default="default")
+    p.add_argument("--kind", default="cpd", choices=["cpd", "tucker", "complete"])
+    p.add_argument("--rank", "-r", type=int, default=DEFAULT_RANK)
+    p.add_argument("--iterations", "-i", type=int, default=DEFAULT_ITERATIONS)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--spec", metavar="JSON",
+                   help="full job-spec JSON (or @file), overriding the flags")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id immediately instead of waiting")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for the job (default: 600)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the server metrics scrape instead of submitting")
+    p.add_argument("--prometheus", action="store_true",
+                   help="with --metrics: Prometheus text format")
+    p.add_argument("--status", metavar="JOB", help="print one job's status")
+    p.add_argument("--suspend", metavar="JOB",
+                   help="checkpoint and suspend a queued/running job")
+    p.add_argument("--resume", metavar="JOB",
+                   help="re-enqueue a suspended job from its checkpoint")
+    p.add_argument("--cancel", metavar="JOB", help="cancel a queued job")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the daemon to shut down gracefully")
+    p.set_defaults(fn=_cmd_submit)
 
     p = sub.add_parser("reorder", help="relabel mode indices for locality")
     p.add_argument("tensor")

@@ -131,6 +131,8 @@ def cp_als(
     options: CpalsOptions | None = None,
     *,
     callback=None,
+    csf_set=None,
+    layer=None,
 ) -> CpalsResult:
     """Run CP-ALS on a sparse tensor.
 
@@ -149,6 +151,18 @@ def cp_als(
         1-based; factors are the live matrices — copy before storing).
         Returning ``True`` stops the loop early (``converged`` stays
         False).
+    csf_set:
+        Optional pre-built :class:`~repro.csf.build.CsfSet` for *this*
+        tensor.  Skips the sort + CSF construction entirely and reuses
+        the set's :class:`~repro.mttkrp.scatter.MttkrpContext` plan
+        cache — how the serve daemon amortizes cold-start across
+        requests (docs/SERVING.md).  Must match the tensor's dims and
+        ``options.allocation``.
+    layer:
+        Optional pre-built tasking layer whose persistent worker pool
+        should be reused instead of spinning up a fresh one.  The
+        layer's cost-counter sink is repointed at this run's counters;
+        callers sharing a layer must serialize their solves.
 
     Returns
     -------
@@ -169,7 +183,17 @@ def cp_als(
 
     timers = RoutineTimers()
     counters = CostCounters()
-    layer = make_tasking_layer(opts.env, counters)
+    if layer is None:
+        layer = make_tasking_layer(opts.env, counters)
+    else:
+        if layer.env.tasking_layer != opts.env.tasking_layer:
+            raise ValueError(
+                f"shared layer is {layer.env.tasking_layer!r} but options "
+                f"request {opts.env.tasking_layer!r}"
+            )
+        # repoint the shared layer's accounting at this run's counters so
+        # sync-event reports stay per-run even when the pool is long-lived
+        layer.counters = counters
     pool = make_mutex_pool(opts.mutex_kind, size=opts.pool_size, env=opts.env, counters=counters)
 
     run_span = _obs.span(
@@ -192,10 +216,27 @@ def cp_als(
             bk.ensure_ready()
         run_span.set_attrs(backend=bk.name)
         # --- Sort: pre-processing sort + CSF construction (paper's Sort row) ---
-        with timers.time("sort"):
-            csf_set = build_csf_set(
-                tensor, allocation=opts.allocation, sort_variant=opts.sort_variant
-            )
+        if csf_set is None:
+            with timers.time("sort"):
+                csf_set = build_csf_set(
+                    tensor, allocation=opts.allocation, sort_variant=opts.sort_variant
+                )
+        else:
+            # warm path (serve daemon): the caller's cached set stands in
+            # for the build; its plan cache carries over between runs
+            if csf_set.trees[0].dims != tensor.dims:
+                raise ValueError(
+                    f"csf_set is for a "
+                    f"{'x'.join(str(d) for d in csf_set.trees[0].dims)} tensor, "
+                    f"not {'x'.join(str(d) for d in tensor.dims)}"
+                )
+            if csf_set.allocation != opts.allocation:
+                raise ValueError(
+                    f"csf_set was built with allocation {csf_set.allocation!r} "
+                    f"but options request {opts.allocation!r}"
+                )
+            run_span.set_attrs(csf_reused=True)
+            _obs.count("cp_als.csf_reused")
 
         nmodes = tensor.nmodes
         fits: list[float] = []

@@ -130,6 +130,14 @@ class CpalsOptions:
             raise ValueError(
                 f"unknown transport {self.transport!r}; choose from {TRANSPORTS}"
             )
+        if self.distributed and (
+            self.checkpoint_path is not None or self.resume_from is not None
+        ):
+            raise ValueError(
+                "checkpoint_path/resume_from (--checkpoint/--resume) are not "
+                "supported with locales > 1 or transport='proc' — distributed "
+                "runs have no checkpoint format yet; checkpoint serial runs only"
+            )
 
     @property
     def distributed(self) -> bool:

@@ -1,0 +1,130 @@
+"""Thin synchronous client for the ``repro serve`` daemon.
+
+One TCP connection, one request/response pair per call, line-delimited
+JSON both ways (see :mod:`repro.serve.protocol`).  The client is a
+context manager::
+
+    with ServeClient(port=7461) as c:
+        job = c.submit({"kind": "cpd", "tensor": "data/x.tns", "rank": 8})
+        done = c.wait(job["id"], timeout=60)
+        print(done["result"]["fit"])
+
+Errors come back in-band as ``{"ok": false, "code": ..., ...}``; by
+default every method raises :class:`ServeError` on them so callers can
+``try/except`` one type.  Pass ``check=False`` to get the raw envelope
+(the quota tests inspect rejection payloads this way).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.serve import protocol as proto
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A structured server-side rejection (``ok: false`` envelope)."""
+
+    def __init__(self, envelope: dict[str, Any]):
+        error = envelope.get("error") or {}
+        super().__init__(error.get("message", "server error"))
+        self.code = error.get("code", "unknown")
+        self.error = error
+        self.envelope = envelope
+
+
+class ServeClient:
+    """One connection to a running :class:`~repro.serve.server.ReproServer`."""
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int,
+                 tenant: str = "default", timeout: float | None = 300.0):
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._rfile = None
+
+    # ------------------------------------------------------------------
+    # connection
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServeClient":
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._rfile = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            self._rfile.close()
+            self._rfile = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def call(self, op: str, *, check: bool = True, **fields: Any) -> dict[str, Any]:
+        """Send one request, read one response."""
+        if self._sock is None:
+            self.connect()
+        request = {"op": op, **fields}
+        self._sock.sendall(proto.encode(request))
+        line = self._rfile.readline(proto.MAX_LINE_BYTES + 2)
+        if not line:
+            raise ConnectionError(f"server closed the connection during {op!r}")
+        response = proto.decode_line(line, require_op=False)
+        if check and not response.get("ok"):
+            raise ServeError(response)
+        return response
+
+    # ------------------------------------------------------------------
+    # one method per op
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.call("ping")
+
+    def submit(self, job: dict[str, Any], *, tenant: str | None = None,
+               check: bool = True) -> dict[str, Any]:
+        return self.call("submit", job=job,
+                         tenant=tenant if tenant is not None else self.tenant,
+                         check=check)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.call("status", id=job_id)
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self.call("result", id=job_id)
+
+    def wait(self, job_id: str, *, timeout: float | None = None) -> dict[str, Any]:
+        return self.call("wait", id=job_id, timeout=timeout)
+
+    def suspend(self, job_id: str, *, timeout: float = 300.0) -> dict[str, Any]:
+        return self.call("suspend", id=job_id, timeout=timeout)
+
+    def resume(self, job_id: str) -> dict[str, Any]:
+        return self.call("resume", id=job_id)
+
+    def cancel(self, job_id: str, *, check: bool = True) -> dict[str, Any]:
+        return self.call("cancel", id=job_id, check=check)
+
+    def trace(self, job_id: str) -> dict[str, Any]:
+        return self.call("trace", id=job_id)
+
+    def metrics(self, *, format: str = "json") -> dict[str, Any]:
+        return self.call("metrics", format=format)
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.call("shutdown")

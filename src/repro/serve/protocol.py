@@ -1,0 +1,105 @@
+"""Wire protocol for the decomposition service: line-delimited JSON.
+
+One request or response per line; a connection may carry any number of
+request/response pairs (responses come back in request order).  The
+format is deliberately transport-trivial — ``nc localhost PORT`` with a
+hand-typed line works — because the interesting state lives server-side.
+
+Requests::
+
+    {"op": "submit", "tenant": "acme", "job": {...}}
+    {"op": "status" | "result" | "wait" | "suspend" | "resume" |
+           "cancel" | "trace", "id": "job-000001"}
+    {"op": "metrics", "format": "json" | "prometheus"}
+    {"op": "ping"} / {"op": "shutdown"}
+
+Responses::
+
+    {"ok": true,  "v": 1, ...payload...}
+    {"ok": false, "v": 1, "error": {"code": "quota.max_nnz",
+                                    "message": "...", ...details...}}
+
+Error codes are namespaced: ``protocol.*`` (malformed requests),
+``quota.*`` (admission rejections, one code per limit — see
+:mod:`repro.serve.quotas`), ``job.*`` (unknown id, bad state
+transition, execution failure).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "encode",
+    "decode_line",
+    "ok",
+    "err",
+    "ProtocolError",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Cap on one request line; a line longer than this is rejected rather
+#: than buffered (inline tensors for larger jobs should go through a
+#: file path — the server mmaps/caches it once for every tenant).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be parsed into a request envelope."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def encode(obj: dict[str, Any]) -> bytes:
+    """Serialize one message as a single newline-terminated JSON line."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes, *, require_op: bool = True) -> dict[str, Any]:
+    """Parse one message line into its envelope dict.
+
+    ``require_op`` is True for the server side (requests must carry an
+    ``"op"`` string); the client decodes responses with it off.
+
+    Raises
+    ------
+    ProtocolError
+        With ``protocol.bad_json`` / ``protocol.bad_envelope`` codes the
+        server turns into structured error responses.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "protocol.line_too_long",
+            f"request line is {len(line)} bytes (limit {MAX_LINE_BYTES}); "
+            "submit large tensors by path, not inline",
+        )
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("protocol.bad_json", f"unparseable request: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("protocol.bad_envelope", "message must be a JSON object")
+    if require_op and not isinstance(obj.get("op"), str):
+        raise ProtocolError(
+            "protocol.bad_envelope", 'request must be a JSON object with an "op" string'
+        )
+    return obj
+
+
+def ok(**payload: Any) -> dict[str, Any]:
+    """A success response envelope."""
+    return {"ok": True, "v": PROTOCOL_VERSION, **payload}
+
+
+def err(code: str, message: str, **details: Any) -> dict[str, Any]:
+    """A structured error response envelope."""
+    return {
+        "ok": False,
+        "v": PROTOCOL_VERSION,
+        "error": {"code": code, "message": message, **details},
+    }

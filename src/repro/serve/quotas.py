@@ -1,0 +1,108 @@
+"""Per-tenant admission control for the decomposition service.
+
+A long-lived multi-tenant daemon must bound what any one tenant can pin:
+one 100M-nnz submission would evict every other tenant's hot plans, and
+an unbounded queue lets a runaway client starve the batch scheduler.
+Three limits, each with its own structured rejection code:
+
+=======================  =============================================
+``max_nnz``              largest single tensor a job may reference
+                         (``quota.max_nnz``)
+``max_resident_bytes``   total tensor bytes the tenant's queued +
+                         running jobs may pin in the cache
+                         (``quota.max_resident_bytes``)
+``max_queued_jobs``      queued + running jobs per tenant
+                         (``quota.max_queued_jobs``)
+=======================  =============================================
+
+Rejections are *structured*: the client receives the code, the limit,
+the observed value and the tenant, so an SDK can distinguish "shrink
+your tensor" from "back off and retry" without parsing prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TenantQuotas", "QuotaPolicy", "QuotaExceeded", "UNLIMITED"]
+
+#: Sentinel limit meaning "no cap" (0 or negative limits also disable).
+UNLIMITED = 0
+
+
+class QuotaExceeded(Exception):
+    """An admission rejection carrying its structured payload."""
+
+    def __init__(self, code: str, message: str, *, tenant: str,
+                 limit: int, actual: int):
+        super().__init__(message)
+        self.code = code
+        self.tenant = tenant
+        self.limit = limit
+        self.actual = actual
+
+    def details(self) -> dict[str, Any]:
+        return {"tenant": self.tenant, "limit": self.limit, "actual": self.actual}
+
+
+@dataclass(frozen=True)
+class TenantQuotas:
+    """Limits for one tenant (``UNLIMITED``/≤0 disables a limit)."""
+
+    max_nnz: int = UNLIMITED
+    max_resident_bytes: int = UNLIMITED
+    max_queued_jobs: int = UNLIMITED
+
+
+class QuotaPolicy:
+    """Default limits plus per-tenant overrides.
+
+    The policy is pure decision logic: the server passes in the observed
+    usage (from the :class:`~repro.serve.jobstore.JobStore`) and the
+    candidate job's size, and gets either silence or a
+    :class:`QuotaExceeded` naming the violated limit.
+    """
+
+    def __init__(self, default: TenantQuotas | None = None,
+                 overrides: dict[str, TenantQuotas] | None = None):
+        self.default = default if default is not None else TenantQuotas()
+        self.overrides = dict(overrides or {})
+
+    def quotas_for(self, tenant: str) -> TenantQuotas:
+        return self.overrides.get(tenant, self.default)
+
+    def admit(self, tenant: str, *, nnz: int, tensor_bytes: int,
+              active_jobs: int, resident_bytes: int) -> None:
+        """Raise :class:`QuotaExceeded` if the job must be rejected.
+
+        Parameters
+        ----------
+        nnz / tensor_bytes:
+            The candidate job's tensor size.
+        active_jobs / resident_bytes:
+            The tenant's usage *before* this job is admitted.
+        """
+        q = self.quotas_for(tenant)
+        if q.max_queued_jobs > 0 and active_jobs + 1 > q.max_queued_jobs:
+            raise QuotaExceeded(
+                "quota.max_queued_jobs",
+                f"tenant {tenant!r} already has {active_jobs} queued/running "
+                f"jobs (limit {q.max_queued_jobs})",
+                tenant=tenant, limit=q.max_queued_jobs, actual=active_jobs + 1,
+            )
+        if q.max_nnz > 0 and nnz > q.max_nnz:
+            raise QuotaExceeded(
+                "quota.max_nnz",
+                f"tensor has {nnz} nonzeros, over tenant {tenant!r}'s "
+                f"per-job limit of {q.max_nnz}",
+                tenant=tenant, limit=q.max_nnz, actual=nnz,
+            )
+        if q.max_resident_bytes > 0 and resident_bytes + tensor_bytes > q.max_resident_bytes:
+            raise QuotaExceeded(
+                "quota.max_resident_bytes",
+                f"admitting this job would pin {resident_bytes + tensor_bytes} "
+                f"tensor bytes for tenant {tenant!r} (limit {q.max_resident_bytes})",
+                tenant=tenant, limit=q.max_resident_bytes,
+                actual=resident_bytes + tensor_bytes,
+            )

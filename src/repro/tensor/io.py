@@ -47,6 +47,41 @@ def _open_text(path: Path, mode: str):
     return path.open(mode, encoding="utf-8")
 
 
+def _consistent_width(path: Path, rows: list[tuple[int, list[str]]]) -> int:
+    """The common field count of ``rows``, or a :class:`ValueError` that
+    blames the *minority*-width line.
+
+    Taking the expected width from the first data row blames every
+    subsequent line when row 1 is the anomalous one, so the expected
+    width is decided by majority vote over all rows instead.  With no
+    majority (a tie), the first line whose width differs from row 1 is
+    reported together with row 1 as the inconsistent pair.
+    """
+    counts: dict[int, int] = {}
+    for _, fields in rows:
+        counts[len(fields)] = counts.get(len(fields), 0) + 1
+    if len(counts) == 1:
+        return next(iter(counts))
+    best = max(counts.values())
+    majority = [w for w, c in counts.items() if c == best]
+    if len(majority) == 1:
+        width = majority[0]
+        lineno, fields = next((ln, f) for ln, f in rows if len(f) != width)
+        raise ValueError(
+            f"{path}:{lineno}: ragged row has {len(fields)} fields, expected "
+            f"{width} ({best} of {len(rows)} data lines have {width})"
+        )
+    first_lineno, first_fields = rows[0]
+    lineno, fields = next(
+        (ln, f) for ln, f in rows if len(f) != len(first_fields)
+    )
+    raise ValueError(
+        f"{path}:{lineno}: ragged row has {len(fields)} fields but line "
+        f"{first_lineno} has {len(first_fields)} (no majority width to "
+        "decide which is wrong)"
+    )
+
+
 def load_tns(
     path: str | os.PathLike,
     *,
@@ -91,15 +126,11 @@ def load_tns(
             rows.append((lineno, fields))
     if not rows:
         raise ValueError(f"{path}: no nonzeros found")
-    width = len(rows[0][1])
+    width = _consistent_width(path, rows)
     nmodes = width - 1
     coords = np.empty((len(rows), nmodes), dtype=INDEX_DTYPE)
     values = np.empty(len(rows), dtype=VALUE_DTYPE)
     for i, (lineno, fields) in enumerate(rows):
-        if len(fields) != width:
-            raise ValueError(
-                f"{path}:{lineno}: ragged row has {len(fields)} fields, expected {width}"
-            )
         try:
             coords[i] = [int(f) for f in fields[:-1]]
             values[i] = float(fields[-1])
@@ -213,6 +244,12 @@ def save_mmap(tensor: SparseTensor, path: str | os.PathLike) -> None:
     The layout is deliberately trivial — magic, int64 header, raw
     little-endian arrays — so :func:`load_mmap` can hand back zero-copy
     ``np.memmap`` views instead of parsing anything.
+
+    The write is **atomic** (same write-temp–fsync–rename discipline as
+    :mod:`repro.resilience.checkpoint`): ``.tnsb`` files are mapped by
+    every process sharing the page cache, so an in-place overwrite killed
+    mid-write would leave a truncated file for all of them.  A crash
+    leaves either the previous complete file or none — never a torn one.
     """
     path = Path(path)
     coords = np.ascontiguousarray(tensor.coords, dtype=INDEX_DTYPE)
@@ -220,11 +257,19 @@ def save_mmap(tensor: SparseTensor, path: str | os.PathLike) -> None:
     header = np.array(
         [tensor.nmodes, tensor.nnz, *tensor.dims], dtype=_HEADER_DTYPE
     )
-    with path.open("wb") as fh:
-        fh.write(MMAP_MAGIC)
-        fh.write(header.tobytes())
-        fh.write(coords.tobytes())
-        fh.write(values.tobytes())
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with tmp.open("wb") as fh:
+            fh.write(MMAP_MAGIC)
+            fh.write(header.tobytes())
+            fh.write(coords.tobytes())
+            fh.write(values.tobytes())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # failed write: don't litter
+            tmp.unlink(missing_ok=True)
 
 
 def load_mmap(path: str | os.PathLike) -> SparseTensor:

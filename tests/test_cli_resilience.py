@@ -92,6 +92,16 @@ class TestCheckpointFlags:
         assert load_checkpoint(ck).iteration == 4
         capsys.readouterr()
 
+    def test_checkpoint_with_locales_exits_1(self, tns_file, tmp_path, capsys):
+        """CLI and programmatic API agree: checkpoint × distributed is a
+        clear error (raised by CpalsOptions itself), exit code 1."""
+        ck = tmp_path / "ck.npz"
+        assert main(["cpd", tns_file, "-r", "2", "-i", "2", "--locales", "2",
+                     "--checkpoint", str(ck)]) == 1
+        err = capsys.readouterr().err
+        assert "not" in err and "supported" in err
+        assert not ck.exists()
+
     def test_tucker_checkpoint_and_resume(self, tns_file, tmp_path, capsys):
         ck = tmp_path / "ck.npz"
         base = tmp_path / "base.npz"

@@ -126,6 +126,21 @@ class TestOptions:
         with pytest.raises(ValueError):
             CpalsOptions(pool_size=0)
 
+    def test_checkpoint_with_distributed_rejected(self):
+        """Regression: ``checkpoint_path`` + ``locales > 1`` used to be
+        silently ignored through the programmatic API (only the CLI
+        rejected the combination)."""
+        with pytest.raises(ValueError, match="not .*supported"):
+            CpalsOptions(checkpoint_path="ck.npz", locales=2)
+        with pytest.raises(ValueError, match="not .*supported"):
+            CpalsOptions(resume_from="ck.npz", locales=4)
+        with pytest.raises(ValueError, match="not .*supported"):
+            CpalsOptions(checkpoint_path="ck.npz", transport="proc")
+
+    def test_checkpoint_serial_still_accepted(self):
+        opts = CpalsOptions(checkpoint_path="ck.npz", locales=1)
+        assert not opts.distributed
+
 
 class TestInitFactors:
     def test_shapes_and_determinism(self):

@@ -262,6 +262,15 @@ class TestTransportParam:
         with pytest.raises(ValueError, match="unknown transport"):
             distributed_cp_als(tensor, 2, nlocales=2, transport="mpi")
 
+    def test_checkpoint_kwargs_rejected(self, tensor):
+        """Regression: direct callers passing checkpoint/resume paths must
+        get a clear error, not a silently ignored keyword (distributed
+        runs have no checkpoint format)."""
+        with pytest.raises(ValueError, match="checkpoint"):
+            distributed_cp_als(tensor, 2, nlocales=2, checkpoint_path="ck.npz")
+        with pytest.raises(ValueError, match="checkpoint"):
+            distributed_cp_als(tensor, 2, nlocales=2, resume_from="ck.npz")
+
 
 class TestCommStatsMergeProperty:
     """Merging the stats of a split run must equal the unsplit run."""

@@ -18,7 +18,7 @@ PACKAGES = [
     "repro.tensor", "repro.csf", "repro.linalg", "repro.mttkrp",
     "repro.runtime", "repro.core", "repro.perfmodel", "repro.completion",
     "repro.constrained", "repro.distributed", "repro.analysis",
-    "repro.tucker", "repro.bench",
+    "repro.tucker", "repro.bench", "repro.serve",
 ]
 
 

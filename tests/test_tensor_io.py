@@ -280,3 +280,122 @@ class TestMmapFormat:
         direct = cp_als(small_tensor, 2, CpalsOptions(max_iterations=3, tolerance=0))
         via_map = cp_als(mapped, 2, CpalsOptions(max_iterations=3, tolerance=0))
         assert via_map.fits[-1] == direct.fits[-1]
+
+
+class TestRaggedWidthBlame:
+    """The ragged-row error must blame the *minority*-width line, even when
+    the anomalous line is the first data row (regression: the expected
+    width used to be taken from row 1, blaming every later line)."""
+
+    def test_short_first_row_is_the_one_blamed(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("1 1 1.0\n1 1 1 1.0\n2 2 2 2.0\n3 3 3 3.0\n")
+        with pytest.raises(ValueError, match=r"bad\.tns:1: ragged row has 3 fields"):
+            load_tns(path)
+
+    def test_majority_count_reported(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("# hdr\n1 1 1.0\n1 1 1 1.0\n2 2 2 2.0\n3 3 3 3.0\n")
+        with pytest.raises(ValueError, match=r"3 of 4 data lines have 4"):
+            load_tns(path)
+
+    def test_minority_later_row_still_blamed(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("1 1 1 1.0\n2 2 2 2.0\n3 3 3.0\n4 4 4 4.0\n")
+        with pytest.raises(ValueError, match=r"bad\.tns:3: ragged row has 3 fields"):
+            load_tns(path)
+
+    def test_tie_reports_inconsistent_pair(self, tmp_path):
+        path = tmp_path / "bad.tns"
+        path.write_text("1 1 1.0\n1 1 1 1.0\n")
+        with pytest.raises(ValueError, match=r"bad\.tns:2: .*but line 1 has 3"):
+            load_tns(path)
+
+    def test_consistent_file_unaffected(self, tmp_path):
+        path = tmp_path / "ok.tns"
+        path.write_text("1 1 1.0\n2 2 2.0\n")
+        assert load_tns(path).nnz == 2
+
+
+class TestMmapAtomicWrite:
+    """``save_mmap`` must never tear an existing ``.tnsb`` in place: other
+    processes share its bytes through the page cache (regression: the file
+    used to be opened ``"wb"`` at the destination, truncating it before
+    the first byte of the replacement was durable)."""
+
+    def test_failed_write_preserves_previous_file(self, small_tensor, tmp_path,
+                                                  monkeypatch):
+        from pathlib import Path
+
+        from repro.tensor.io import load_mmap, save_mmap
+
+        path = tmp_path / "t.tnsb"
+        save_mmap(small_tensor, path)
+        before = path.read_bytes()
+
+        other = small_tensor.copy()
+        other.values[:] = -other.values
+
+        real_open = Path.open
+
+        def exploding_open(self, mode="r", *args, **kwargs):
+            # matches both the destination (pre-fix in-place write) and
+            # the same-directory temp file (post-fix), so the injected
+            # fault fires mid-payload either way
+            fh = real_open(self, mode, *args, **kwargs)
+            if "w" in mode and self.name.startswith("t.tnsb"):
+                real_write = fh.write
+                state = {"n": 0}
+
+                def failing_write(data):
+                    state["n"] += 1
+                    if state["n"] >= 3:  # after magic + header, mid-payload
+                        raise OSError("disk full (injected)")
+                    return real_write(data)
+
+                fh.write = failing_write
+            return fh
+
+        monkeypatch.setattr(Path, "open", exploding_open)
+        with pytest.raises(OSError, match="disk full"):
+            save_mmap(other, path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        reloaded = load_mmap(path)
+        np.testing.assert_array_equal(reloaded.values, small_tensor.values)
+        assert not list(tmp_path.glob("*.tmp-*")), "temp litter left behind"
+
+    def test_kill_mid_write_leaves_old_file_intact(self, small_tensor, tmp_path):
+        """A SIGKILL between the payload write and the rename (simulated by
+        killing the process inside fsync) must leave the previous complete
+        file, not a truncated one."""
+        import subprocess
+        import sys
+
+        from repro.tensor.io import load_mmap, save_binary, save_mmap
+
+        path = tmp_path / "t.tnsb"
+        save_mmap(small_tensor, path)
+        before = path.read_bytes()
+        seed_npz = tmp_path / "seed.npz"
+        save_binary(small_tensor, seed_npz)
+
+        script = (
+            "import os, signal, sys\n"
+            "import repro.tensor.io as tio\n"
+            "t = tio.load_binary(sys.argv[1])\n"
+            "t.values.flags.writeable = True\n"
+            "t.values[:] = 7.0\n"
+            "os.fsync = lambda fd: os.kill(os.getpid(), signal.SIGKILL)\n"
+            "tio.save_mmap(t, sys.argv[2])\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(seed_npz), str(path)],
+            capture_output=True,
+        )
+        assert proc.returncode == -9, (proc.returncode, proc.stderr.decode())
+
+        assert path.read_bytes() == before
+        reloaded = load_mmap(path)
+        np.testing.assert_array_equal(reloaded.values, small_tensor.values)
