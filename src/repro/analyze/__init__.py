@@ -1,0 +1,44 @@
+"""Whole-program static analysis for the repro tree (docs/ANALYSIS.md).
+
+Where :mod:`repro.lint` checks one module at a time, this package builds
+the program: a symbol-resolved module graph (:mod:`.symbols`), a call
+graph with light local type inference (:mod:`.callgraph`), and a forward
+dataflow core (:mod:`.dataflow`) shared by four interprocedural
+analyses:
+
+* ``dispatch-contract`` (:mod:`.contracts`) — dtype/contiguity facts
+  flow from array creation sites to every compiled-kernel boundary;
+* ``must-release`` (:mod:`.lifecycle`) — locks, shm arenas, sockets,
+  pools and manually entered contexts reach a release on **all** paths,
+  exceptional edges included;
+* ``escaped-shared-write`` (:mod:`.escape`) — unsynchronized writes to
+  arrays that escape a dispatched task, exported as sanitizer fuzz
+  seeds;
+* ``hot-call`` (:mod:`.hotness`) — the Fig 1–4 performance rules follow
+  the call graph below hot loops.
+
+Reports, suppressions (``# reprolint: allow``), fingerprints and config
+come from the lint engine, so ``repro analyze`` and ``repro lint`` are
+two depths of one tool.  Run as ``python -m repro.analyze`` or
+``repro analyze``.
+"""
+
+from repro.analyze.analyses import (
+    ANALYSES,
+    Analysis,
+    AnalysisContext,
+    AnalyzeEngine,
+    register_analysis,
+)
+
+# the passes self-register on import; importing the package is enough for
+# the lint engine to recognize analysis rule ids in suppression comments
+from repro.analyze import contracts, escape, hotness, lifecycle  # noqa: E402,F401
+
+__all__ = [
+    "ANALYSES",
+    "Analysis",
+    "AnalysisContext",
+    "AnalyzeEngine",
+    "register_analysis",
+]

@@ -1,0 +1,139 @@
+"""``python -m repro.analyze`` — the whole-program analyzer CLI.
+
+Usage::
+
+    python -m repro.analyze [paths ...]          # default: src/repro or repro
+    python -m repro.analyze src/repro --json report.json --sarif report.sarif
+    python -m repro.analyze --seeds-out seeds.json   # sanitizer fuzz seeds
+    python -m repro.analyze --list-analyses
+
+Exit status: 0 when every finding is suppressed (with a written reason),
+1 when any active finding remains, 2 on usage errors — the same contract
+as ``python -m repro.lint``, whose configuration (``[tool.reprolint]``)
+and suppression syntax this tool shares.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analyze.analyses import AnalyzeEngine, render_analysis_catalog
+from repro.lint.engine import load_config
+from repro.lint.report import render_json, render_sarif, render_text
+
+TOOL = "repro.analyze"
+
+
+def _find_pyproject(start: Path) -> Path | None:
+    cur = start.resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for candidate in [cur, *cur.parents]:
+        p = candidate / "pyproject.toml"
+        if p.is_file():
+            return p
+    return None
+
+
+def _default_paths() -> list[str]:
+    for candidate in ("src/repro", "repro"):
+        if Path(candidate).is_dir():
+            return [candidate]
+    return ["."]
+
+
+def _write(payload: str, dest: str) -> None:
+    if dest == "-":
+        sys.stdout.write(payload)
+    else:
+        Path(dest).write_text(payload, encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="whole-program static analyzer: kernel dispatch "
+                    "contracts, resource lifecycles, static race "
+                    "pre-screening, interprocedural hot-path rules "
+                    "(docs/ANALYSIS.md)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to analyze (default: src/repro)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the deterministic JSON report to PATH "
+                             "('-' for stdout)")
+    parser.add_argument("--sarif", metavar="PATH", default=None,
+                        help="write a SARIF 2.1.0 report to PATH ('-' for "
+                             "stdout)")
+    parser.add_argument("--seeds-out", metavar="PATH", default=None,
+                        help="write the prioritized race-site list as "
+                             "sanitizer fuzz seeds ('-' for stdout)")
+    parser.add_argument("--config", metavar="PYPROJECT", default=None,
+                        help="pyproject.toml to read [tool.reprolint] from "
+                             "(default: discovered upward from the first path)")
+    parser.add_argument("--analyses", metavar="ID[,ID...]", default=None,
+                        help="run only these analysis ids")
+    parser.add_argument("--list-analyses", action="store_true",
+                        help="print the analysis catalog and exit")
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="run the seeded-fault fixtures: verify every "
+                             "analysis still catches its target bug class")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="include suppressed findings in the text output")
+    args = parser.parse_args(argv)
+
+    if args.list_analyses:
+        sys.stdout.write(render_analysis_catalog())
+        return 0
+
+    if args.selfcheck:
+        from repro.analyze.selfcheck import run_selfcheck
+
+        failures = run_selfcheck()
+        for line in failures:
+            sys.stdout.write(line + "\n")
+        sys.stdout.write(
+            "repro.analyze --selfcheck: "
+            + ("FAILED\n" if failures else
+               "OK (every seeded bug class caught, clean twins clean)\n")
+        )
+        return 1 if failures else 0
+
+    paths = args.paths or _default_paths()
+    pyproject = Path(args.config) if args.config else _find_pyproject(Path(paths[0]))
+    config = load_config(pyproject)
+    selected = None
+    if args.analyses:
+        selected = [a.strip() for a in args.analyses.split(",") if a.strip()]
+    try:
+        engine = AnalyzeEngine(config, analyses=selected)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    findings = engine.analyze_paths([Path(p) for p in paths])
+
+    if args.json is not None:
+        _write(render_json(findings, tool=TOOL), args.json)
+    if args.sarif is not None:
+        _write(render_sarif(findings, tool=TOOL), args.sarif)
+    if args.seeds_out is not None:
+        ctx = engine.last_context
+        sites = ctx.artifacts.get("race_sites", []) if ctx is not None else []
+        payload = json.dumps(
+            {"version": 1, "tool": TOOL, "sites": sites},
+            indent=2, sort_keys=True,
+        ) + "\n"
+        _write(payload, args.seeds_out)
+    if args.json != "-" and args.sarif != "-" and args.seeds_out != "-":
+        sys.stdout.write(render_text(
+            findings, show_suppressed=args.show_suppressed, tool=TOOL,
+        ))
+
+    return 1 if any(not f.suppressed for f in findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""Analysis registry and the whole-program engine.
+
+Each analysis is registered here with an id, a summary and a ``run``
+callable over an :class:`AnalysisContext` (the parsed project, its call
+graph and the lint config).  The engine assembles the context once, runs
+every selected analysis, converts their raw results into
+:class:`repro.lint.engine.Finding` records, and then reuses the lint
+machinery wholesale: the same ``# reprolint: allow(rule) — reason``
+suppressions (matched by line, statement span and enclosing ``def``
+scope), the same code-identity fingerprints, and the same deterministic
+report renderers.
+
+The analysis rule ids are also registered into :data:`repro.lint.RULES`
+(category ``"analysis"``, ``check=None``) so the per-module linter
+recognizes them in suppression comments; the *unused*-suppression audit
+for those ids lives here, because only the whole-program engine can tell
+whether such a suppression still silences anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.lint.engine import (
+    Finding,
+    LintConfig,
+    LintEngine,
+    Rule,
+    RULES,
+    apply_config_allowlist,
+    assign_fingerprints,
+    collect_suppressions,
+    register,
+)
+from repro.analyze.callgraph import CallGraph, build_callgraph
+from repro.analyze.symbols import ModuleInfo, Project, build_project
+
+__all__ = [
+    "Analysis",
+    "ANALYSES",
+    "AnalysisContext",
+    "AnalyzeEngine",
+    "RawFinding",
+    "register_analysis",
+]
+
+#: One raw result: (module, node, rule id, message).
+RawFinding = tuple[ModuleInfo, ast.AST, str, str]
+
+
+@dataclass(frozen=True)
+class Analysis:
+    """One whole-program analysis: identity plus the pass itself."""
+
+    id: str
+    summary: str
+    paper: str | None = None
+    run: Callable[["AnalysisContext"], Iterator[RawFinding]] | None = None
+
+
+#: Global analysis registry, id → :class:`Analysis`.
+ANALYSES: dict[str, Analysis] = {}
+
+
+def register_analysis(analysis: Analysis) -> Analysis:
+    """Add to :data:`ANALYSES` and mirror the id into the lint registry."""
+    if analysis.id in ANALYSES:
+        raise ValueError(f"duplicate analysis id {analysis.id!r}")
+    ANALYSES[analysis.id] = analysis
+    if analysis.id not in RULES:
+        register(Rule(
+            id=analysis.id, category="analysis",
+            summary=analysis.summary, paper=analysis.paper,
+        ))
+    return analysis
+
+
+class AnalysisContext:
+    """Everything an analysis pass may consult, built once per run."""
+
+    def __init__(self, project: Project, graph: CallGraph, config: LintConfig):
+        self.project = project
+        self.graph = graph
+        self.config = config
+        #: scratch shared between analyses (e.g. escape → fuzzer seeds)
+        self.artifacts: dict[str, object] = {}
+
+
+class AnalyzeEngine:
+    """Runs the registered whole-program analyses over a source tree."""
+
+    def __init__(self, config: LintConfig | None = None, *,
+                 analyses: Iterable[str] | None = None,
+                 package_anchor: str = "repro"):
+        # analysis modules register themselves on import
+        from repro.analyze import contracts, escape, hotness, lifecycle  # noqa: F401
+
+        self.config = config if config is not None else LintConfig()
+        selected = set(analyses) if analyses is not None else set(ANALYSES)
+        unknown = selected - set(ANALYSES)
+        if unknown:
+            raise ValueError(f"unknown analysis id(s): {sorted(unknown)}")
+        self.analysis_ids = tuple(sorted(selected))
+        self.package_anchor = package_anchor
+        #: Context of the last run (exposes artifacts such as fuzzer seeds).
+        self.last_context: AnalysisContext | None = None
+        #: Per-run cache: relpath → parsed suppression comments.
+        self._supp_cache: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    def analyze_paths(self, paths: Iterable[Path | str]) -> list[Finding]:
+        project = build_project(
+            [Path(p) for p in paths], config=self.config,
+            package_anchor=self.package_anchor,
+        )
+        return self.analyze_project(project)
+
+    def analyze_project(self, project: Project) -> list[Finding]:
+        graph = build_callgraph(project)
+        ctx = AnalysisContext(project, graph, self.config)
+        self.last_context = ctx
+        self._supp_cache = {}
+
+        findings: list[Finding] = []
+        for relpath, message in sorted(project.parse_errors.items()):
+            findings.append(Finding(
+                rule="parse-error", path=relpath, line=1, col=0,
+                message=message, snippet="", scope="<module>",
+            ))
+        for aid in self.analysis_ids:
+            analysis = ANALYSES[aid]
+            if analysis.run is None:
+                continue
+            for mod, node, rule_id, message in analysis.run(ctx):
+                findings.append(Finding(
+                    rule=rule_id, path=mod.relpath,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                    snippet=mod.view.snippet(node),
+                    scope=mod.view.scope_name(node),
+                ))
+                self._maybe_suppress(findings[-1], mod, node)
+
+        findings.extend(self._audit_analysis_suppressions())
+        findings.sort(key=Finding.sort_key)
+        assign_fingerprints(findings)
+        apply_config_allowlist(findings, self.config)
+        return findings
+
+    # ------------------------------------------------------------------
+    # suppressions: same comment syntax, matched through the lint engine
+    # ------------------------------------------------------------------
+    def _suppressions(self, mod: ModuleInfo):
+        cache = self._supp_cache.get(mod.relpath)
+        if cache is None:
+            cache = collect_suppressions(mod.source)
+            self._supp_cache[mod.relpath] = cache
+        return cache
+
+    def _maybe_suppress(self, finding: Finding, mod: ModuleInfo,
+                        node: ast.AST) -> None:
+        supps = self._suppressions(mod)
+        # Delegate to the lint engine's matcher so the two tools can never
+        # drift: line, multi-line statement span, enclosing def/class.
+        LintEngine._maybe_suppress(
+            _ENGINE_SHIM, finding, mod.view, supps, node=node,
+        )
+
+    def _audit_analysis_suppressions(self) -> list[Finding]:
+        """Unused suppressions naming *only* analysis rules.
+
+        The per-module linter skips these (it can never match them); this
+        engine is the one that knows whether they still silence anything.
+        """
+        from repro.lint.engine import _analysis_only
+
+        if self.last_context is None:
+            return []
+        out: list[Finding] = []
+        for mod in sorted(self.last_context.project.modules.values(),
+                          key=lambda m: m.relpath):
+            for supp in self._suppressions(mod).values():
+                if supp.used or supp.reason is None:
+                    continue
+                if not _analysis_only(supp.rules):
+                    continue
+                out.append(Finding(
+                    rule="unused-suppression", path=mod.relpath,
+                    line=supp.line, col=0,
+                    message=(
+                        f"suppression for {', '.join(supp.rules)} matches no "
+                        "analyzer finding — remove it"
+                    ),
+                    snippet=mod.view.lines[supp.line - 1].strip()
+                    if supp.line <= len(mod.view.lines) else "",
+                    scope="<module>",
+                ))
+        return out
+
+
+class _EngineShim:
+    """Just enough of a LintEngine to borrow its suppression matcher."""
+
+    @staticmethod
+    def _def_lines(mod, finding):
+        return LintEngine._def_lines(mod, finding)
+
+
+_ENGINE_SHIM = _EngineShim()
+
+
+def render_analysis_catalog() -> str:
+    """``--list-analyses`` output: id, paper mapping, summary."""
+    lines = []
+    for aid in sorted(ANALYSES):
+        a = ANALYSES[aid]
+        paper = f" [{a.paper}]" if a.paper else ""
+        lines.append(f"{aid:<24} analysis{paper}")
+        lines.append(f"    {a.summary}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,247 @@
+"""Call graph over a :class:`~repro.analyze.symbols.Project`.
+
+Every call expression in every function body is resolved as far as static
+information allows:
+
+* plain names through the module's symbol/import tables
+  (``mttkrp_csf(...)`` → ``repro.mttkrp.variants.mttkrp_csf``);
+* attribute chains rooted at imported modules
+  (``_obs.span(...)`` → ``repro.observe.spans.span``);
+* ``self.method()`` through the enclosing class and its project-visible
+  bases;
+* method calls on locals whose class is statically known from a
+  constructor assignment in the same function
+  (``arena = ShmArena(); ...; arena.close()`` →
+  ``repro.distributed.shm.ShmArena.close``) — a one-function type
+  inference shared with the dataflow analyses;
+* constructor calls resolve to the class (edge to ``__init__`` when the
+  class defines one).
+
+Unresolvable method calls keep their trailing attribute name so the
+lifecycle/contract analyses can still pattern-match receiver protocols
+(``.acquire`` / ``.close`` / ``.apply``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analyze.symbols import ClassInfo, FunctionInfo, ModuleInfo, Project, _dotted_name
+
+__all__ = ["CallSite", "CallGraph", "build_callgraph", "local_types"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class CallSite:
+    """One call expression inside one function."""
+
+    caller: str  #: FQN of the enclosing function ("<module>" body → module name)
+    node: ast.Call
+    module: ModuleInfo
+    callee: str | None = None  #: resolved FQN (function, method or class)
+    callee_class: str | None = None  #: class FQN when this is a constructor
+    attr: str | None = None  #: trailing attribute for unresolved method calls
+    receiver: str | None = None  #: ``ast.dump`` of the receiver expression
+
+
+@dataclass
+class CallGraph:
+    """Resolved call sites plus forward/reverse adjacency."""
+
+    project: Project
+    sites: list[CallSite] = field(default_factory=list)
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    reverse: dict[str, set[str]] = field(default_factory=dict)
+    #: call sites grouped by caller FQN, in source order.
+    by_caller: dict[str, list[CallSite]] = field(default_factory=dict)
+
+    def add(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self.by_caller.setdefault(site.caller, []).append(site)
+        if site.callee is not None:
+            self.edges.setdefault(site.caller, set()).add(site.callee)
+            self.reverse.setdefault(site.callee, set()).add(site.caller)
+
+    # ------------------------------------------------------------------
+    def callees(self, fqn: str) -> set[str]:
+        return self.edges.get(fqn, set())
+
+    def callers(self, fqn: str) -> set[str]:
+        return self.reverse.get(fqn, set())
+
+    def reachable_from(self, seeds: set[str]) -> set[str]:
+        """Transitive closure of ``seeds`` along call edges (seeds included)."""
+        out = set(seeds)
+        stack = list(seeds)
+        while stack:
+            cur = stack.pop()
+            for nxt in self.edges.get(cur, ()):
+                if nxt not in out:
+                    out.add(nxt)
+                    stack.append(nxt)
+        return out
+
+    def transitive_callers(self, seeds: set[str]) -> set[str]:
+        out = set(seeds)
+        stack = list(seeds)
+        while stack:
+            cur = stack.pop()
+            for nxt in self.reverse.get(cur, ()):
+                if nxt not in out:
+                    out.add(nxt)
+                    stack.append(nxt)
+        return out
+
+
+# ----------------------------------------------------------------------
+# one-function type inference
+# ----------------------------------------------------------------------
+def local_types(project: Project, mod: ModuleInfo,
+                fn: ast.AST) -> dict[str, str]:
+    """Map local variable names to class FQNs where statically evident.
+
+    Covers the dominant idioms: ``x = SomeClass(...)`` constructor
+    assignment, ``x = SomeClass.attach(...)`` classmethod-constructor
+    (resolves to the class when the attribute starts with a known class),
+    and ``with SomeClass(...) as x:``.  Reassignment to anything else
+    forgets the binding.
+    """
+    types: dict[str, str] = {}
+
+    def class_of(call: ast.AST) -> str | None:
+        if not isinstance(call, ast.Call):
+            return None
+        dotted = _dotted_name(call.func)
+        if dotted is None:
+            return None
+        resolved = project.resolve(mod, dotted)
+        if project.klass(resolved) is not None:
+            return resolved
+        # SomeClass.attach(...) — classmethod constructors return the class
+        head, _, tail = resolved.rpartition(".")
+        if tail and project.klass(head) is not None:
+            return head
+        return None
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            cls = class_of(node.value)
+            name = node.targets[0].id
+            if cls is not None:
+                types[name] = cls
+            else:
+                types.pop(name, None)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    cls = class_of(item.context_expr)
+                    if cls is not None:
+                        types[item.optional_vars.id] = cls
+    return types
+
+
+# ----------------------------------------------------------------------
+# resolution
+# ----------------------------------------------------------------------
+def resolve_call(project: Project, mod: ModuleInfo, caller: FunctionInfo | None,
+                 call: ast.Call, types: dict[str, str]) -> CallSite:
+    """Resolve one call expression into a :class:`CallSite`."""
+    caller_fqn = caller.qualname if caller is not None else mod.name
+    site = CallSite(caller=caller_fqn, node=call, module=mod)
+    f = call.func
+    if isinstance(f, ast.Attribute):
+        site.attr = f.attr
+        site.receiver = ast.dump(f.value)
+
+    # self.method() through the enclosing class hierarchy
+    if (
+        isinstance(f, ast.Attribute)
+        and isinstance(f.value, ast.Name)
+        and f.value.id in ("self", "cls")
+        and caller is not None
+        and caller.cls is not None
+    ):
+        m = project.method(caller.cls, f.attr)
+        if m is not None:
+            site.callee = m.qualname
+            return site
+
+    # receiver with a statically known class: x = ShmArena(); x.close()
+    if (
+        isinstance(f, ast.Attribute)
+        and isinstance(f.value, ast.Name)
+        and f.value.id in types
+    ):
+        cls = project.klass(types[f.value.id])
+        if cls is not None:
+            m = project.method(cls, f.attr)
+            if m is not None:
+                site.callee = m.qualname
+                site.receiver = ast.dump(f.value)
+                return site
+
+    dotted = _dotted_name(f)
+    if dotted is None:
+        return site
+    resolved = project.resolve(mod, dotted)
+
+    cls = project.klass(resolved)
+    if cls is not None:  # constructor call
+        site.callee = resolved
+        site.callee_class = cls.qualname
+        return site
+
+    fn = project.function(resolved)
+    if fn is not None:
+        site.callee = fn.qualname
+        return site
+
+    # ClassName.method(...) used unbound / classmethod style
+    head, _, tail = resolved.rpartition(".")
+    if tail:
+        owner = project.klass(head)
+        if owner is not None:
+            m = project.method(owner, tail)
+            if m is not None:
+                site.callee = m.qualname
+                return site
+    # unresolved: keep the import-expanded dotted form for pattern matching
+    site.callee = None
+    if site.attr is None and "." not in dotted:
+        site.attr = dotted
+    return site
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Resolve every call site in every module of ``project``."""
+    graph = CallGraph(project)
+    for mod in sorted(project.modules.values(), key=lambda m: m.name):
+        # module-level calls attribute to the module itself
+        funcs: list[tuple[FunctionInfo | None, ast.AST]] = [(None, mod.tree)]
+        for fn in mod.functions.values():
+            funcs.append((fn, fn.node))
+        for cls in mod.classes.values():
+            for m in cls.methods.values():
+                funcs.append((m, m.node))
+        for owner, root in funcs:
+            types = local_types(project, mod, root)
+            for node in ast.walk(root):
+                if not isinstance(node, ast.Call):
+                    continue
+                # skip calls that belong to a *nested* def collected
+                # separately (methods inside classes when walking module)
+                if root is mod.tree and _inside_function(mod, node):
+                    continue
+                graph.add(resolve_call(project, mod, owner, node, types))
+    return graph
+
+
+def _inside_function(mod: ModuleInfo, node: ast.AST) -> bool:
+    for a in mod.view.ancestors(node):
+        if isinstance(a, _FUNC_NODES):
+            return True
+    return False

@@ -1,0 +1,406 @@
+"""Dispatch-contract checking: the dtype/layout lattice of the backends.
+
+Phipps & Kolda's single-source portable kernels (arXiv:1809.09175) — and
+this project's port of the idea, :mod:`repro.backend` — live or die by a
+rigorously enforced data-layout contract: every compiled kernel entry
+(numba ``nogil`` JIT, the ctypes C extension) receives **C-contiguous
+float64** value arrays and **int64** index arrays, because the foreign
+side reads raw pointers and never consults strides or dtype tags.  The
+equivalence suite checks this dynamically at the boundary
+(``canonical_factors``); this analysis checks it statically for every
+*path*: an abstract ``(dtype, contiguity)`` fact is seeded at array
+creation sites (``np.zeros``, ``asarray``/``ascontiguousarray``,
+``Workspace.buf``, ``ShmArena`` views, ``astype``) and propagated
+forward through assignments, branches and loops by the dataflow core;
+any value that can reach a kernel parameter with a *known-conflicting*
+fact is flagged.  Unknown facts pass — the analysis only reports
+violations it can prove, so it stays quiet on the clean tree.
+
+Interprocedural: a function that merely forwards a parameter into a
+kernel inherits that parameter's requirement as a *summary*
+(``fn: param → needs float64/C``), computed to a fixpoint over the call
+graph, so a wrong-dtype array created two calls above the kernel is
+still caught — the workspace-dtype aliasing bug class PR 4 fixed
+dynamically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.analyses import (
+    Analysis,
+    AnalysisContext,
+    RawFinding,
+    register_analysis,
+)
+from repro.analyze.callgraph import CallSite
+from repro.analyze.dataflow import Env, ForwardAnalysis
+from repro.analyze.symbols import FunctionInfo, _dotted_name
+
+__all__ = ["ArrayFact", "SINKS", "kernel_requirements"]
+
+# ----------------------------------------------------------------------
+# the lattice: (dtype, contiguity), None meaning unknown/top
+# ----------------------------------------------------------------------
+ArrayFact = tuple  # (dtype: str | None, contig: str | None)
+
+_F64 = "float64"
+_I64 = "int64"
+
+#: Compiled-kernel entry points: method name → positional requirements.
+#: ``"value"`` needs float64/C-contiguous, ``"index"`` needs int64.
+SINKS: dict[str, dict[int, str]] = {
+    "segment_sum": {0: "value", 1: "index", 2: "value"},
+    "gather_segment_sum": {0: "value", 1: "index", 2: "index", 3: "value"},
+    "ata": {0: "value", 1: "value"},
+    "root_kernel": {1: "value", 4: "value"},
+    "internal_kernel": {1: "value", 5: "value"},
+    "leaf_kernel": {1: "value", 4: "value"},
+    # plan-layer entries whose first argument is the contribs block
+    "apply": {0: "value"},   # SegmentSum.apply(w, ws, tag)
+    "reduce": {0: "value"},  # RowScatter.reduce(contribs, ws)
+}
+
+#: Fully-qualified prefixes a sink call must resolve to (or the attr-name
+#: fallback below); keeps ``obj.apply(...)`` on unrelated classes quiet.
+_SINK_OWNERS = (
+    "repro.backend.",
+    "repro.mttkrp.scatter.SegmentSum.apply",
+    "repro.mttkrp.scatter.RowScatter.reduce",
+)
+#: Attr names unique enough to match even when the receiver's class is
+#: statically unknown (``backend.segment_sum`` through a parameter).
+_UNIQUE_SINK_ATTRS = frozenset({
+    "segment_sum", "gather_segment_sum", "ata",
+    "root_kernel", "internal_kernel", "leaf_kernel",
+})
+
+_DTYPE_NAMES = {
+    "float64": _F64, "float32": "float32", "float16": "float16",
+    "int64": _I64, "int32": "int32", "int16": "int16", "int8": "int8",
+    "uint8": "uint8", "bool": "bool", "double": _F64,
+}
+#: Project constants that *are* dtypes.
+_DTYPE_CONSTANTS = {
+    "repro._util.VALUE_DTYPE": _F64,
+    "repro._util.INDEX_DTYPE": _I64,
+}
+
+_ALLOCATORS = frozenset({
+    "zeros", "empty", "ones", "full",
+    "zeros_like", "empty_like", "ones_like", "full_like",
+})
+
+
+def kernel_requirements(kind: str) -> ArrayFact:
+    """The required fact for a sink parameter kind."""
+    return (_F64, "C") if kind == "value" else (_I64, "C")
+
+
+def _violates(fact: ArrayFact, kind: str) -> str | None:
+    """A human-readable conflict, or None when the fact is compatible."""
+    dtype, contig = fact
+    want_dtype = _F64 if kind == "value" else _I64
+    if dtype is not None and dtype != want_dtype:
+        return f"dtype {dtype} where the kernel contract requires {want_dtype}"
+    if contig == "no":
+        return "a non-C-contiguous view where the kernel reads raw pointers"
+    return None
+
+
+# ----------------------------------------------------------------------
+# per-function abstract interpretation
+# ----------------------------------------------------------------------
+class _ContractFlow(ForwardAnalysis):
+    """Propagates ArrayFacts and checks sink calls as it walks."""
+
+    def __init__(self, analysis: "_ContractsPass", fn_owner, mod):
+        super().__init__()
+        self.analysis = analysis
+        self.owner = fn_owner
+        self.mod = mod
+
+    # -- lattice --------------------------------------------------------
+    def join_values(self, a, b):
+        if a == b:
+            return a
+        da, ca = a if a else (None, None)
+        db, cb = b if b else (None, None)
+        dtype = da if da == db else None
+        contig = ca if ca == cb else None
+        return (dtype, contig) if (dtype or contig) else None
+
+    # -- dtype helpers --------------------------------------------------
+    def _dtype_of_expr(self, expr: ast.expr | None) -> str | None:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return _DTYPE_NAMES.get(expr.value)
+        dotted = _dotted_name(expr)
+        if dotted is None:
+            return None
+        resolved = self.analysis.ctx.project.resolve(self.mod, dotted)
+        if resolved in _DTYPE_CONSTANTS:
+            return _DTYPE_CONSTANTS[resolved]
+        tail = resolved.rsplit(".", 1)[-1]
+        return _DTYPE_NAMES.get(tail)
+
+    def _kwarg(self, call: ast.Call, name: str) -> ast.expr | None:
+        for kw in call.keywords:
+            if kw.arg == name:
+                return kw.value
+        return None
+
+    # -- creation-site transfer -----------------------------------------
+    def eval_expr(self, expr: ast.expr, env: Env):
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            # x.T — transposed view of a known array loses C order
+            base = self.eval_expr(expr.value, env)
+            if expr.attr == "T" and base is not None:
+                return (base[0], "no")
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.eval_expr(expr.value, env)
+            if base is None:
+                return None
+            return (base[0], self._subscript_contig(expr, base[1]))
+        if isinstance(expr, ast.IfExp):
+            a = self.eval_expr(expr.body, env)
+            b = self.eval_expr(expr.orelse, env)
+            if a is None or b is None:
+                return None
+            return self.join_values(a, b)
+        return None
+
+    @staticmethod
+    def _subscript_contig(expr: ast.Subscript, base_contig) -> str | None:
+        """Leading simple slices keep contiguity; stepped slices lose it."""
+        sl = expr.slice
+        elts = sl.elts if isinstance(sl, ast.Tuple) else [sl]
+        for e in elts:
+            if isinstance(e, ast.Slice) and e.step is not None:
+                return "no"
+        if isinstance(sl, ast.Slice) and sl.step is None:
+            return base_contig  # x[a:b] — a leading contiguous block
+        return None  # fancy indexing yields a fresh array; stay unknown
+
+    def _eval_call(self, call: ast.Call, env: Env):
+        self._check_sink(call, env)
+        f = call.func
+        attr = f.attr if isinstance(f, ast.Attribute) else None
+        is_np = (
+            isinstance(f, ast.Attribute)
+            and isinstance(f.value, ast.Name)
+            and f.value.id in ("np", "numpy")
+        )
+        if is_np and attr in _ALLOCATORS:
+            dtype = self._dtype_of_expr(self._kwarg(call, "dtype"))
+            if dtype is None and len(call.args) >= (3 if attr == "full" else 2):
+                dtype = self._dtype_of_expr(
+                    call.args[2 if attr == "full" else 1]
+                )
+            if dtype is None and not attr.endswith("_like"):
+                dtype = _F64  # numpy's allocation default
+            return (dtype, "C")
+        if is_np and attr == "ascontiguousarray":
+            dtype = self._dtype_of_expr(self._kwarg(call, "dtype"))
+            if dtype is None and len(call.args) >= 2:
+                dtype = self._dtype_of_expr(call.args[1])
+            if dtype is None and call.args:
+                src = self.eval_expr(call.args[0], env)
+                dtype = src[0] if src else None
+            return (dtype, "C")
+        if is_np and attr == "asarray":
+            dtype = self._dtype_of_expr(self._kwarg(call, "dtype"))
+            if dtype is None and len(call.args) >= 2:
+                dtype = self._dtype_of_expr(call.args[1])
+            src = self.eval_expr(call.args[0], env) if call.args else None
+            contig = src[1] if src else None  # asarray keeps the layout
+            if dtype is None and src:
+                dtype = src[0]
+            return (dtype, contig) if (dtype or contig) else None
+        if attr == "astype":
+            dtype = self._dtype_of_expr(
+                call.args[0] if call.args else self._kwarg(call, "dtype")
+            )
+            return (dtype, "C")  # astype copies to C order by default
+        if attr == "buf":  # Workspace.buf(tag, shape, dtype=VALUE_DTYPE)
+            dtype = self._dtype_of_expr(self._kwarg(call, "dtype"))
+            if dtype is None and len(call.args) >= 3:
+                dtype = self._dtype_of_expr(call.args[2])
+            if dtype is None:
+                dtype = _F64  # the Workspace default (VALUE_DTYPE)
+            return (dtype, "C")
+        if attr == "create":  # ShmArena.create(key, shape, dtype)
+            dtype = self._dtype_of_expr(
+                call.args[2] if len(call.args) >= 3
+                else self._kwarg(call, "dtype")
+            )
+            return (dtype, "C")
+        # walk nested arguments so sinks inside expressions are checked
+        for a in call.args:
+            if isinstance(a, ast.Call):
+                self._eval_call(a, env)
+        for kw in call.keywords:
+            if isinstance(kw.value, ast.Call):
+                self._eval_call(kw.value, env)
+        return None
+
+    # -- sink checking ---------------------------------------------------
+    def _check_sink(self, call: ast.Call, env: Env) -> None:
+        reqs = self.analysis.site_requirements(call)
+        if not reqs:
+            return
+        for pos, kind in reqs.items():
+            if pos >= len(call.args):
+                continue
+            fact = self.eval_expr(call.args[pos], env)
+            if fact is None:
+                continue
+            conflict = _violates(fact, kind)
+            if conflict is None:
+                continue
+            self.analysis.report(
+                self.mod, call,
+                f"array argument {pos} carries {conflict} "
+                f"(paper's single-source layout contract, "
+                f"docs/BACKENDS.md): coerce with canonical_factors / "
+                f"ascontiguousarray(dtype={'float64' if kind == 'value' else 'int64'}) "
+                f"before the kernel boundary",
+            )
+
+
+# ----------------------------------------------------------------------
+# the pass: summaries to fixpoint, then one dataflow walk per function
+# ----------------------------------------------------------------------
+class _ContractsPass:
+    def __init__(self, ctx: AnalysisContext):
+        self.ctx = ctx
+        self.findings: list[RawFinding] = []
+        #: fn qualname → {param index → "value"|"index"}
+        self.summaries: dict[str, dict[int, str]] = {}
+        self._site_index: dict[int, CallSite] = {
+            id(s.node): s for s in ctx.graph.sites
+        }
+
+    # -- sink resolution -------------------------------------------------
+    def _direct_sink(self, site: CallSite) -> dict[int, str] | None:
+        attr = site.attr
+        if attr is None or attr not in SINKS:
+            return None
+        callee = site.callee or ""
+        if callee.startswith("repro.backend.") or callee in (
+            "repro.mttkrp.scatter.SegmentSum.apply",
+            "repro.mttkrp.scatter.RowScatter.reduce",
+        ):
+            return SINKS[attr]
+        if site.callee is None and attr in _UNIQUE_SINK_ATTRS:
+            return SINKS[attr]
+        return None
+
+    def site_requirements(self, call: ast.Call) -> dict[int, str]:
+        """Positional requirements at this call, direct or via summaries."""
+        site = self._site_index.get(id(call))
+        if site is None:
+            return {}
+        direct = self._direct_sink(site)
+        if direct is not None:
+            return direct
+        if site.callee is not None:
+            summary = self.summaries.get(site.callee)
+            if summary:
+                # method calls bound through a receiver drop ``self``
+                fn = self.ctx.project.functions.get(site.callee)
+                shift = 0
+                if fn is not None and fn.cls is not None and site.receiver is not None:
+                    shift = 1
+                return {
+                    pos - shift: kind
+                    for pos, kind in summary.items()
+                    if pos - shift >= 0
+                }
+        return {}
+
+    # -- summaries --------------------------------------------------------
+    def compute_summaries(self) -> None:
+        project, graph = self.ctx.project, self.ctx.graph
+        for _ in range(12):  # call chains deeper than this don't exist here
+            changed = False
+            for fqn, fn in project.functions.items():
+                params = fn.params
+                for site in graph.by_caller.get(fqn, ()):
+                    reqs = self._requirements_for_summary(site)
+                    for pos, kind in reqs.items():
+                        if pos >= len(site.node.args):
+                            continue
+                        arg = site.node.args[pos]
+                        if not isinstance(arg, ast.Name):
+                            continue
+                        if arg.id not in params:
+                            continue
+                        pidx = params.index(arg.id)
+                        cur = self.summaries.setdefault(fqn, {})
+                        if cur.get(pidx) != kind:
+                            # "value" wins ties: it is the stricter contract
+                            if cur.get(pidx) is None or kind == "value":
+                                cur[pidx] = kind
+                                changed = True
+            if not changed:
+                break
+
+    def _requirements_for_summary(self, site: CallSite) -> dict[int, str]:
+        direct = self._direct_sink(site)
+        if direct is not None:
+            return direct
+        if site.callee is not None and site.callee in self.summaries:
+            fn = self.ctx.project.functions.get(site.callee)
+            shift = 1 if (fn is not None and fn.cls is not None
+                          and site.receiver is not None) else 0
+            return {
+                pos - shift: kind
+                for pos, kind in self.summaries[site.callee].items()
+                if pos - shift >= 0
+            }
+        return {}
+
+    # -- reporting --------------------------------------------------------
+    def report(self, mod, node, message: str) -> None:
+        self.findings.append((mod, node, "dispatch-contract", message))
+
+    def run(self) -> Iterator[RawFinding]:
+        self.compute_summaries()
+        self.ctx.artifacts["contract_summaries"] = dict(self.summaries)
+        for fqn in sorted(self.ctx.project.functions):
+            fn: FunctionInfo = self.ctx.project.functions[fqn]
+            flow = _ContractFlow(self, fn, fn.module)
+            flow.run(fn.node)
+        # determinism: findings sorted later by the engine; de-dup repeats
+        # from loop-fixpoint repasses here.
+        seen: set[tuple] = set()
+        for mod, node, rid, msg in self.findings:
+            key = (mod.relpath, getattr(node, "lineno", 0),
+                   getattr(node, "col_offset", 0), rid, msg)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield mod, node, rid, msg
+
+
+def _run(ctx: AnalysisContext) -> Iterator[RawFinding]:
+    return _ContractsPass(ctx).run()
+
+
+register_analysis(Analysis(
+    id="dispatch-contract",
+    summary="an array with a statically known dtype/layout conflict can "
+            "reach a compiled kernel entry (backends require C-contiguous "
+            "float64 values and int64 indices)",
+    paper="arXiv:1809.09175 §3 (portable kernels need enforced layout)",
+    run=_run,
+))

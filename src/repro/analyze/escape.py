@@ -1,0 +1,417 @@
+"""Static race pre-screen: shared-array writes reachable from tasks.
+
+The dynamic sanitizer (:mod:`repro.sanitize`) finds real races by
+perturbing schedules, but its search is only as good as its seeds.  This
+analysis walks the task-dispatch boundary statically — everything passed
+to ``coforall``/``forall``/``WorkerPool.run``/``submit`` or
+``threading.Thread(target=...)`` — computes the set of functions those
+task bodies can reach, and inside that set flags **writes to arrays that
+escape the task**: closure variables of a nested task body, parameters
+of a dispatched function, or ``self`` state.  A write is exonerated when
+the model can see the discipline the paper prescribes:
+
+* the index is derived from the task id (``out[tid] = ...`` and the
+  block-partitioned ``out[lo:hi]`` where ``lo = tid * chunk`` — disjoint
+  by construction, the §IV decomposition);
+* it is lexically under a lock (``with self._lock:`` / a
+  :mod:`repro.runtime.locks` pool guard — Fig 4's discipline);
+* the target is a fresh local allocation (private to the task).
+
+Everything else is a *candidate* race site.  Besides reporting
+``escaped-shared-write`` findings, the pass publishes a prioritized site
+list in ``AnalysisContext.artifacts["race_sites"]``; ``repro analyze
+--seeds-out`` serializes it for
+:class:`repro.sanitize.fuzz.SchedulePerturber`, which biases its
+schedule perturbation toward the implicated sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.analyses import (
+    Analysis,
+    AnalysisContext,
+    RawFinding,
+    register_analysis,
+)
+from repro.analyze.symbols import FunctionInfo, ModuleInfo, _dotted_name
+
+__all__ = ["DISPATCH_ATTRS", "race_sites"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: ``receiver.<attr>(callable, ...)`` task-dispatch entry points.
+DISPATCH_ATTRS = frozenset({"coforall", "forall", "run", "submit", "begin"})
+
+#: Names that guard a region when they appear in a ``with`` item.
+_LOCKISH = ("lock", "mutex", "guard", "sem")
+
+
+def _is_lock_expr(expr: ast.expr) -> bool:
+    for n in ast.walk(expr):
+        name = None
+        if isinstance(n, ast.Name):
+            name = n.id
+        elif isinstance(n, ast.Attribute):
+            name = n.attr
+        if name is not None and any(tok in name.lower() for tok in _LOCKISH):
+            return True
+    return False
+
+
+class _TaskBody:
+    """One analyzable task entry: a function node plus its shared names."""
+
+    def __init__(self, mod: ModuleInfo, node, qualname: str,
+                 shared: set[str], task_params: set[str],
+                 origin: str):
+        self.mod = mod
+        self.node = node
+        self.qualname = qualname
+        #: names that refer to memory visible outside this task
+        self.shared = shared
+        #: parameters carrying the task id (their derivations partition writes)
+        self.task_params = task_params
+        self.origin = origin  #: "path:line" of the dispatch site
+
+
+def _local_names(fn) -> set[str]:
+    """Names bound inside the function: params, assignments, for-targets."""
+    out: set[str] = set()
+    a = fn.args
+    for p in a.posonlyargs + a.args + a.kwonlyargs:
+        out.add(p.arg)
+    if a.vararg:
+        out.add(a.vararg.arg)
+    if a.kwarg:
+        out.add(a.kwarg.arg)
+    for n in ast.walk(fn):
+        if isinstance(n, ast.Assign):
+            for t in n.targets:
+                for sub in ast.walk(t):
+                    if isinstance(sub, ast.Name):
+                        out.add(sub.id)
+        elif isinstance(n, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(n.target, ast.Name):
+                out.add(n.target.id)
+        elif isinstance(n, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(n.target):
+                if isinstance(sub, ast.Name):
+                    out.add(sub.id)
+        elif isinstance(n, (ast.With, ast.AsyncWith)):
+            for item in n.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    out.add(item.optional_vars.id)
+        elif isinstance(n, ast.comprehension):
+            for sub in ast.walk(n.target):
+                if isinstance(sub, ast.Name):
+                    out.add(sub.id)
+    return out
+
+
+#: Allocators producing task-private arrays when assigned to a local.
+_PRIVATE_ALLOC = frozenset({
+    "zeros", "empty", "ones", "full", "zeros_like", "empty_like",
+    "ones_like", "full_like", "copy", "array", "arange",
+})
+
+
+def _private_locals(fn) -> set[str]:
+    """Locals assigned from fresh allocations — private to the task."""
+    out: set[str] = set()
+    for n in ast.walk(fn):
+        if not (isinstance(n, ast.Assign) and len(n.targets) == 1
+                and isinstance(n.targets[0], ast.Name)):
+            continue
+        v = n.value
+        if (
+            isinstance(v, ast.Call)
+            and isinstance(v.func, ast.Attribute)
+            and v.func.attr in _PRIVATE_ALLOC
+        ):
+            out.add(n.targets[0].id)
+        elif isinstance(v, ast.Call) and isinstance(v.func, ast.Attribute) \
+                and v.func.attr == "copy":
+            out.add(n.targets[0].id)
+    return out
+
+
+def _tid_derived(fn, task_params: set[str]) -> set[str]:
+    """Task params plus locals computed from them (``lo = tid * chunk``)."""
+    derived = set(task_params)
+    for _ in range(3):  # chains like lo = tid*c; hi = lo+c converge fast
+        changed = False
+        for n in ast.walk(fn):
+            if not (isinstance(n, ast.Assign) and len(n.targets) == 1
+                    and isinstance(n.targets[0], ast.Name)):
+                continue
+            name = n.targets[0].id
+            if name in derived:
+                continue
+            uses = {s.id for s in ast.walk(n.value) if isinstance(s, ast.Name)}
+            if uses & derived:
+                derived.add(name)
+                changed = True
+        if not changed:
+            break
+    return derived
+
+
+class _EscapePass:
+    def __init__(self, ctx: AnalysisContext):
+        self.ctx = ctx
+        self.findings: list[RawFinding] = []
+        self.sites: list[dict] = []
+        self._seen: set[tuple] = set()
+
+    # -- dispatch discovery ------------------------------------------------
+    def _callable_args(self, call: ast.Call) -> list[ast.expr]:
+        out = []
+        f = call.func
+        if isinstance(f, ast.Attribute) and f.attr in DISPATCH_ATTRS:
+            out.extend(call.args)
+            out.extend(kw.value for kw in call.keywords
+                       if kw.arg in ("body", "fn", "func"))
+        else:
+            dotted = _dotted_name(f) or ""
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail == "Thread":
+                out.extend(kw.value for kw in call.keywords
+                           if kw.arg == "target")
+        return [a for a in out if isinstance(a, (ast.Name, ast.Attribute))]
+
+    def _task_bodies(self) -> list[_TaskBody]:
+        bodies: list[_TaskBody] = []
+        project = self.ctx.project
+        for mod in sorted(project.modules.values(), key=lambda m: m.name):
+            for call in mod.view.walk(ast.Call):
+                for arg in self._callable_args(call):
+                    origin = f"{mod.relpath}:{call.lineno}"
+                    body = self._resolve_body(mod, call, arg, origin)
+                    if body is not None:
+                        bodies.append(body)
+        return bodies
+
+    def _resolve_body(self, mod: ModuleInfo, call: ast.Call,
+                      arg: ast.expr, origin: str) -> _TaskBody | None:
+        # nested def in an enclosing function: `def body(tid): ...;
+        # layer.coforall(n, body)` — the dominant idiom in this tree
+        if isinstance(arg, ast.Name):
+            for anc in mod.view.ancestors(call):
+                if isinstance(anc, _FUNC_NODES):
+                    for stmt in ast.walk(anc):
+                        if isinstance(stmt, _FUNC_NODES) \
+                                and stmt is not anc and stmt.name == arg.id:
+                            return self._nested_body(mod, anc, stmt, origin)
+                    break
+        # a project-level function/method passed by (dotted) name
+        dotted = _dotted_name(arg)
+        if dotted is None:
+            return None
+        fn = self.ctx.project.function(self.ctx.project.resolve(mod, dotted))
+        if fn is None:
+            return None
+        params = fn.params
+        start = 1 if fn.cls is not None else 0
+        shared = set(params[start:]) | {"self"}
+        task_params = {params[start]} if len(params) > start else set()
+        return _TaskBody(fn.module, fn.node, fn.qualname, shared,
+                         task_params, origin)
+
+    def _nested_body(self, mod: ModuleInfo, outer, inner,
+                     origin: str) -> _TaskBody:
+        locals_ = _local_names(inner)
+        free = {
+            n.id for n in ast.walk(inner)
+            if isinstance(n, ast.Name) and n.id not in locals_
+        }
+        params = [p.arg for p in inner.args.args]
+        task_params = {params[0]} if params else set()
+        qual = f"{mod.name}.{outer.name}.<{inner.name}>"
+        return _TaskBody(mod, inner, qual, free | {"self"}, task_params,
+                         origin)
+
+    # -- write screening ---------------------------------------------------
+    def _screen(self, body: _TaskBody) -> None:
+        fn = body.node
+        mod = body.mod
+        private = _private_locals(fn)
+        tid_names = _tid_derived(fn, body.task_params)
+        shared = (body.shared - private) - tid_names
+
+        def base_name(t: ast.expr) -> str | None:
+            cur = t
+            while isinstance(cur, ast.Subscript):
+                cur = cur.value
+            if isinstance(cur, ast.Name):
+                return cur.id
+            if isinstance(cur, ast.Attribute) and \
+                    isinstance(cur.value, ast.Name) and cur.value.id == "self":
+                return "self"
+            return None
+
+        def partitioned(t: ast.Subscript) -> bool:
+            names = {n.id for n in ast.walk(t.slice)
+                     if isinstance(n, ast.Name)}
+            return bool(names & tid_names)
+
+        def locked(node: ast.AST) -> bool:
+            for anc in mod.view.ancestors(node):
+                if anc is fn:
+                    return False
+                if isinstance(anc, (ast.With, ast.AsyncWith)):
+                    if any(_is_lock_expr(i.context_expr) for i in anc.items):
+                        return True
+                # Fig 4 discipline: pool.acquire(row) ... pool.release(row)
+                if isinstance(anc, ast.Try):
+                    for fin in anc.finalbody:
+                        for c in ast.walk(fin):
+                            if isinstance(c, ast.Call) and isinstance(
+                                    c.func, ast.Attribute) \
+                                    and c.func.attr == "release":
+                                return True
+            return False
+
+        for n in ast.walk(fn):
+            target: ast.expr | None = None
+            score = 0
+            label = ""
+            if isinstance(n, (ast.Assign, ast.AugAssign)):
+                tgts = n.targets if isinstance(n, ast.Assign) else [n.target]
+                for t in tgts:
+                    if isinstance(t, ast.Subscript):
+                        target = t
+                        label = "indexed store"
+                        score = 2
+            elif isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute):
+                if n.func.attr == "at" and n.args:
+                    target = n.args[0]
+                    label = "ufunc.at scatter"
+                    score = 3
+                elif n.func.attr == "fill":
+                    target = n.func.value
+                    label = "whole-array fill"
+                    score = 3
+            if target is None:
+                continue
+            base = base_name(target)
+            if base is None or base not in shared:
+                continue
+            if isinstance(target, ast.Subscript) and partitioned(target):
+                continue
+            if locked(n):
+                continue
+            key = (mod.relpath, n.lineno, n.col_offset)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self.findings.append((mod, n, "escaped-shared-write", (
+                f"{label} to `{base}`, which escapes the task dispatched at "
+                f"{body.origin}, with no task-id partitioning or lock in "
+                f"scope — a static race candidate (paper Fig 4): partition "
+                f"by tid, guard with a lock pool, or accumulate privately "
+                f"and merge"
+            )))
+            self.sites.append({
+                "path": mod.relpath,
+                "line": n.lineno,
+                "scope": body.qualname,
+                "array": base,
+                "kind": label,
+                "dispatch": body.origin,
+                "weight": score,
+            })
+
+    # -- driver ------------------------------------------------------------
+    def run(self) -> Iterator[RawFinding]:
+        bodies = self._task_bodies()
+        screened: set[int] = set()
+        for body in bodies:
+            if id(body.node) in screened:
+                continue
+            screened.add(id(body.node))
+            self._screen(body)
+        # functions *called from* task bodies inherit the screen: their
+        # parameters alias the task's shared arrays
+        reach_seeds = {b.qualname for b in bodies
+                       if b.qualname in self.ctx.project.functions}
+        for body in bodies:
+            # calls made inside nested bodies are attributed to the
+            # enclosing function by the call graph; include both
+            reach_seeds.add(body.qualname.rsplit(".<", 1)[0])
+        for fqn in sorted(self.ctx.graph.reachable_from(reach_seeds)):
+            fn = self.ctx.project.functions.get(fqn)
+            if fn is None or id(fn.node) in screened:
+                continue
+            screened.add(id(fn.node))
+            params = fn.params
+            start = 1 if fn.cls is not None else 0
+            if len(params) <= start:
+                continue
+            body = _TaskBody(
+                fn.module, fn.node, fn.qualname,
+                set(params[start:]) | {"self"}, set(),
+                origin="(transitively from a task dispatch)",
+            )
+            # only flag unambiguous patterns at this distance: fills
+            self._screen_transitive(body)
+        self.sites.sort(key=lambda s: (-s["weight"], s["path"], s["line"]))
+        self.ctx.artifacts["race_sites"] = list(self.sites)
+        yield from self.findings
+
+    def _screen_transitive(self, body: _TaskBody) -> None:
+        """At transitive distance only ufunc.at/fill are certain enough."""
+        fn, mod = body.node, body.mod
+        private = _private_locals(fn)
+        shared = body.shared - private
+        for n in ast.walk(fn):
+            if not (isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)):
+                continue
+            if n.func.attr != "fill":
+                continue
+            t = n.func.value
+            if not (isinstance(t, ast.Name) and t.id in shared):
+                continue
+            for anc in mod.view.ancestors(n):
+                if isinstance(anc, (ast.With, ast.AsyncWith)) and any(
+                        _is_lock_expr(i.context_expr) for i in anc.items):
+                    break
+            else:
+                key = (mod.relpath, n.lineno, n.col_offset)
+                if key in self._seen:
+                    continue
+                self._seen.add(key)
+                self.findings.append((mod, n, "escaped-shared-write", (
+                    f"whole-array fill of parameter `{t.id}` in a function "
+                    f"reachable from a task dispatch, unguarded — if two "
+                    f"tasks share this array the fill races (paper Fig 4)"
+                )))
+                self.sites.append({
+                    "path": mod.relpath, "line": n.lineno,
+                    "scope": body.qualname, "array": t.id,
+                    "kind": "whole-array fill", "dispatch": body.origin,
+                    "weight": 1,
+                })
+
+
+def race_sites(ctx: AnalysisContext) -> list[dict]:
+    """The prioritized race-candidate list from the last escape run."""
+    return list(ctx.artifacts.get("race_sites", []))
+
+
+def _run(ctx: AnalysisContext) -> Iterator[RawFinding]:
+    return _EscapePass(ctx).run()
+
+
+register_analysis(Analysis(
+    id="escaped-shared-write",
+    summary="a write to an array that escapes a dispatched task (closure "
+            "capture, shared parameter, self state) with no tid "
+            "partitioning or lock in scope — a static race candidate, "
+            "also exported as sanitizer fuzz seeds",
+    paper="Fig 4 (shared-state updates need lock pools / partitioning)",
+    run=_run,
+))

@@ -1,0 +1,140 @@
+"""Interprocedural hot-context propagation (Fig 1–4 one level down).
+
+The per-module linter enforces the paper's performance discipline only
+inside the configured *hot modules* — and only lexically: an allocation
+is flagged when it sits inside a loop the linter can see.  That misses
+the classic evasion: the allocation moves into a helper one call level
+below the loop.  ``np.zeros`` inside ``_accumulate`` costs exactly the
+same when ``_accumulate`` is called from the MTTKRP iteration as the
+inline version the linter would have caught (paper Fig 1).
+
+This analysis closes the gap interprocedurally: every call site whose
+lexical position is a hot context (loop body / amortized-kernel body in
+a hot module) seeds the *hot set*; the call graph's transitive closure
+extends it downward.  Functions in the hot set that live in modules the
+linter already covers are skipped (no double reporting); for the rest,
+the Fig 1–4 anti-pattern checks run over the whole function body — being
+called per-iteration makes the entire body hot — and findings carry the
+call chain back to the loop that makes them hot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.analyses import (
+    Analysis,
+    AnalysisContext,
+    RawFinding,
+    register_analysis,
+)
+from repro.lint.rules_perf import (
+    _ALLOCATORS,
+    _is_np_call,
+    _is_zero_size,
+)
+
+__all__ = ["hot_functions"]
+
+
+def _seed_sites(ctx: AnalysisContext) -> dict[str, str]:
+    """Callee FQN → "relpath:line" of the hot call that seeds it."""
+    seeds: dict[str, str] = {}
+    cfg = ctx.config
+    for site in ctx.graph.sites:
+        if site.callee is None:
+            continue
+        mod = site.module
+        if not mod.view.matches(cfg.hot_modules, cfg.hot_exclude):
+            continue
+        if mod.view.hot_context(site.node) is None:
+            continue
+        origin = f"{mod.relpath}:{site.node.lineno}"
+        # deterministic: keep the lexically first seeding site
+        prev = seeds.get(site.callee)
+        if prev is None or origin < prev:
+            seeds[site.callee] = origin
+    return seeds
+
+
+def hot_functions(ctx: AnalysisContext) -> dict[str, str]:
+    """All functions transitively callable from a hot call site, mapped
+    to the hot origin that makes them hot (shortest-path, deterministic)."""
+    seeds = _seed_sites(ctx)
+    hot: dict[str, str] = dict(seeds)
+    frontier = sorted(seeds)
+    while frontier:
+        nxt: list[str] = []
+        for fqn in frontier:
+            origin = hot[fqn]
+            for callee in sorted(ctx.graph.callees(fqn)):
+                if callee in hot:
+                    continue
+                hot[callee] = f"{origin} via {fqn.rsplit('.', 1)[-1]}()"
+                nxt.append(callee)
+        frontier = nxt
+    return hot
+
+
+def _check_body(mod, fn, origin: str) -> Iterator[tuple[ast.AST, str]]:
+    """Fig 1–4 anti-patterns over a whole (hot-inherited) function body."""
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            f = node.func
+            if _is_np_call(node, _ALLOCATORS) and not _is_zero_size(node):
+                yield node, (
+                    f"np.{f.attr} allocates in a function called from the "
+                    f"hot loop at {origin} (paper Fig 1 one call level "
+                    f"down): hoist the buffer to the caller or serve it "
+                    f"from a Workspace"
+                )
+            elif (
+                isinstance(f, ast.Attribute)
+                and f.attr == "copy"
+                and not node.args
+                and isinstance(f.value, ast.Subscript)
+            ):
+                yield node, (
+                    f"row slice-copy in a function called from the hot "
+                    f"loop at {origin} (paper Figs 2–3): take a view or a "
+                    f"plan-owned gather instead"
+                )
+            elif (
+                isinstance(f, ast.Attribute)
+                and f.attr == "at"
+                and isinstance(f.value, ast.Attribute)
+                and isinstance(f.value.value, ast.Name)
+                and f.value.value.id in ("np", "numpy")
+            ):
+                yield node, (
+                    f"np.{f.value.attr}.at scatter in a function called "
+                    f"from the hot loop at {origin} (paper Fig 4): use a "
+                    f"cached RowScatter/SegmentSum plan"
+                )
+
+
+def _run(ctx: AnalysisContext) -> Iterator[RawFinding]:
+    cfg = ctx.config
+    hot = hot_functions(ctx)
+    ctx.artifacts["hot_functions"] = dict(hot)
+    for fqn in sorted(hot):
+        fn = ctx.project.functions.get(fqn)
+        if fn is None:
+            continue
+        mod = fn.module
+        # the linter already polices hot modules lexically — skip them
+        if mod.view.matches(cfg.hot_modules, cfg.hot_exclude):
+            continue
+        for node, message in _check_body(mod, fn, hot[fqn]):
+            yield mod, node, "hot-call", message
+
+
+register_analysis(Analysis(
+    id="hot-call",
+    summary="a function transitively called from a hot kernel loop "
+            "allocates/copies/scatters per call — the Fig 1–4 "
+            "anti-patterns hidden one call level below the loop",
+    paper="Fig 1 (Array-opt), Figs 2–3 (slicing), Fig 4 (scatter)",
+    run=_run,
+))

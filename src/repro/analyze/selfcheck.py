@@ -1,0 +1,250 @@
+"""Analyzer self-check: seeded-fault fixtures each analysis must catch.
+
+A static analyzer that silently stops finding anything is worse than no
+analyzer — CI would keep passing while the checks rot.  This module
+holds one minimal *seeded bug* per analysis (a dtype-contract violation
+reaching a compiled kernel, a lock acquired but not released on the
+exceptional path, an unsynchronized shared-array write in a pooled task,
+a hot anti-pattern one call level below the loop), runs the engine over
+the fixtures in memory, and verifies every expected finding appears at
+its expected line — and, just as important, that the *clean* twin of
+each fixture stays clean.
+
+``python -m repro.analyze --selfcheck`` runs it (CI does, alongside the
+lint job); the test suite calls :func:`run_selfcheck` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analyze.analyses import AnalyzeEngine
+from repro.analyze.symbols import Project
+from repro.lint.engine import LintConfig
+
+__all__ = ["FIXTURES", "run_selfcheck"]
+
+
+class Fixture:
+    """One fixture module: source plus the findings it must produce."""
+
+    def __init__(self, name: str, relpath: str, source: str,
+                 expect: list[tuple[str, int]]):
+        self.name = name  #: dotted module name inside the fake project
+        self.relpath = relpath
+        self.source = source
+        #: (rule id, line) pairs that MUST be reported in this module
+        self.expect = expect
+
+
+# ----------------------------------------------------------------------
+# dispatch-contract: a float32 array reaches a compiled kernel that the
+# C ABI reads as packed float64 — silent garbage, the exact bug class
+# canonical_factors guards dynamically.
+# ----------------------------------------------------------------------
+_CONTRACT_SRC = '''\
+import numpy as np
+
+
+def seeded_bad_dtype(backend, segments, n, rank):
+    vals = np.zeros((n, rank), dtype=np.float32)   # WRONG dtype
+    out = np.zeros((segments.max() + 1, rank))
+    backend.segment_sum(vals, segments, out)       # line 7: violation
+    return out
+
+
+def seeded_bad_layout(backend, segments, n, rank):
+    vals = np.zeros((n, rank))
+    out = np.zeros((segments.max() + 1, rank))
+    backend.segment_sum(vals.T, segments, out)     # line 14: transposed view
+    return out
+
+
+def forwards(backend, vals, segments, out):
+    backend.segment_sum(vals, segments, out)
+
+
+def seeded_interprocedural(backend, segments, n, rank):
+    vals = np.zeros((n, rank), dtype=np.int32)     # WRONG dtype...
+    out = np.zeros((segments.max() + 1, rank))
+    forwards(backend, vals, segments, out)         # line 25: ...one call up
+    return out
+
+
+def clean(backend, segments, n, rank):
+    vals = np.zeros((n, rank), dtype=np.float64)
+    out = np.zeros((segments.max() + 1, rank))
+    backend.segment_sum(vals, segments, out)       # fine: float64, C
+    return out
+'''
+
+# ----------------------------------------------------------------------
+# must-release: acquire with no release on the exceptional path, and an
+# acquire that can reach a return unreleased.
+# ----------------------------------------------------------------------
+_LIFECYCLE_SRC = '''\
+def seeded_exceptional_leak(lock, work):
+    lock.acquire()              # line 2: leaks when work() raises
+    work()
+    lock.release()
+
+
+def seeded_exit_leak(path, cond):
+    fh = open(path)             # line 8: leaks on the early return
+    if cond:
+        return None
+    data = fh.read()
+    fh.close()
+    return data
+
+
+def clean_finally(lock, work):
+    lock.acquire()
+    try:
+        work()
+    finally:
+        lock.release()
+
+
+def clean_with(path):
+    with open(path) as fh:
+        return fh.read()
+'''
+
+# ----------------------------------------------------------------------
+# escaped-shared-write: a pooled task body writing a closure array with
+# no tid partitioning and no lock — the race the sanitizer hunts
+# dynamically, caught before a single schedule runs.
+# ----------------------------------------------------------------------
+_ESCAPE_SRC = '''\
+import numpy as np
+
+
+def seeded_race(layer, values, ntasks):
+    out = np.zeros(values.shape[1])
+
+    def body(tid):
+        out[0] += values[tid].sum()     # line 8: shared write, no guard
+
+    layer.coforall(ntasks, body)
+    return out
+
+
+def clean_partitioned(layer, values, ntasks):
+    out = np.zeros(ntasks)
+
+    def body(tid):
+        out[tid] = values[tid].sum()    # fine: tid-partitioned
+
+    layer.coforall(ntasks, body)
+    return out
+
+
+def clean_locked(layer, values, ntasks, lock):
+    out = np.zeros(values.shape[1])
+
+    def body(tid):
+        with lock:
+            out[0] += values[tid].sum()  # fine: guarded
+
+    layer.coforall(ntasks, body)
+    return out
+'''
+
+# ----------------------------------------------------------------------
+# hot-call: the allocation hides one call level below the hot loop, in a
+# module the per-file linter does not cover.
+# ----------------------------------------------------------------------
+_HOT_KERNEL_SRC = '''\
+from repro.fixture_helpers import accumulate
+
+
+def kernel(n, out, rows):
+    for i in range(n):
+        accumulate(out, rows, i)
+    return out
+'''
+
+_HOT_HELPER_SRC = '''\
+import numpy as np
+
+
+def accumulate(out, rows, i):
+    tmp = np.zeros(out.shape[0])        # line 5: per-call alloc, hot caller
+    tmp += rows[i]
+    out += tmp
+'''
+
+
+FIXTURES: list[Fixture] = [
+    Fixture(
+        "repro.fixture_contract", "repro/fixture_contract.py",
+        _CONTRACT_SRC,
+        expect=[("dispatch-contract", 7), ("dispatch-contract", 14),
+                ("dispatch-contract", 25)],
+    ),
+    Fixture(
+        "repro.fixture_lifecycle", "repro/fixture_lifecycle.py",
+        _LIFECYCLE_SRC,
+        expect=[("must-release", 2), ("must-release", 8)],
+    ),
+    Fixture(
+        "repro.fixture_escape", "repro/fixture_escape.py",
+        _ESCAPE_SRC,
+        expect=[("escaped-shared-write", 8)],
+    ),
+    Fixture(
+        # relpath inside hot_modules so its loop seeds the hot set ...
+        "repro.mttkrp.fixture_kernel", "repro/mttkrp/fixture_kernel.py",
+        _HOT_KERNEL_SRC,
+        expect=[],
+    ),
+    Fixture(
+        # ... while the helper lives outside the linter's hot coverage
+        "repro.fixture_helpers", "repro/fixture_helpers.py",
+        _HOT_HELPER_SRC,
+        expect=[("hot-call", 5)],
+    ),
+]
+
+
+def fixture_project(config: LintConfig | None = None) -> Project:
+    """The in-memory seeded-fault project (nothing touches the disk)."""
+    project = Project(config if config is not None else LintConfig())
+    for fx in FIXTURES:
+        project.add_module(
+            fx.name, Path(f"<selfcheck:{fx.relpath}>"), fx.relpath, fx.source,
+        )
+    return project
+
+
+def run_selfcheck() -> list[str]:
+    """Run every analysis over the fixtures; return failure descriptions.
+
+    Empty list == the analyzer still catches every seeded bug class and
+    reports nothing on the clean twins.
+    """
+    for fx in FIXTURES:  # the fixtures themselves must stay valid python
+        ast.parse(fx.source)
+
+    engine = AnalyzeEngine(LintConfig())
+    findings = engine.analyze_project(fixture_project())
+    got = {(f.path, f.rule, f.line) for f in findings if not f.suppressed}
+
+    failures: list[str] = []
+    expected: set[tuple[str, str, int]] = set()
+    for fx in FIXTURES:
+        for rule, line in fx.expect:
+            expected.add((fx.relpath, rule, line))
+            if (fx.relpath, rule, line) not in got:
+                failures.append(
+                    f"MISSED: {fx.relpath}:{line} should raise [{rule}] "
+                    f"but the analysis no longer finds it"
+                )
+    for path, rule, line in sorted(got - expected):
+        failures.append(
+            f"SPURIOUS: {path}:{line} [{rule}] fires on a clean fixture "
+            f"region — the analysis got noisier"
+        )
+    return failures

@@ -1,0 +1,268 @@
+"""Project model: every module under a root, parsed once, names resolved.
+
+Where :mod:`repro.lint.engine` sees one file at a time, this module builds
+the *whole-program* view the interprocedural analyses need: each module's
+import table (local alias → dotted target), its top-level functions and
+classes (methods included), and a resolver that turns the dotted names
+appearing in source (``_obs.span``, ``ShmArena.attach``, ``self.close``)
+into project-wide fully-qualified names.
+
+Nothing is ever imported: like the linter, the analyzer works purely on
+:mod:`ast`, so analyzing the tree cannot execute it, and the result is a
+pure function of the sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.engine import LintConfig, ModuleView
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "build_project",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable project-wide."""
+
+    qualname: str  #: fully qualified: ``repro.serve.server.ReproServer.start``
+    module: "ModuleInfo"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: "ClassInfo | None" = None  #: owning class, when a method
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def params(self) -> list[str]:
+        a = self.node.args
+        return [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and (project-resolved) base names."""
+
+    qualname: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)  #: resolved FQNs (or raw)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class ModuleInfo:
+    """One parsed module plus its local name bindings."""
+
+    def __init__(self, name: str, path: Path, relpath: str, source: str,
+                 tree: ast.Module, config: LintConfig):
+        self.name = name  #: dotted module name, e.g. ``repro.runtime.locks``
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.view = ModuleView(path, relpath, source, tree, config)
+        #: local alias → dotted target (``np`` → ``numpy``,
+        #: ``_obs`` → ``repro.observe.spans``, ``ShmArena`` →
+        #: ``repro.distributed.shm.ShmArena``).
+        self.imports: dict[str, str] = {}
+        self.functions: dict[str, FunctionInfo] = {}  #: local name → info
+        self.classes: dict[str, ClassInfo] = {}
+        self._collect()
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{base}.{alias.name}"
+            elif isinstance(node, _FUNC_NODES):
+                qn = f"{self.name}.{node.name}"
+                self.functions[node.name] = FunctionInfo(qn, self, node)
+            elif isinstance(node, ast.ClassDef):
+                self._collect_class(node)
+
+    def _from_base(self, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module
+        # relative import: resolve against this module's dotted name
+        parts = self.name.split(".")
+        if node.level > len(parts):
+            return None
+        base = parts[: len(parts) - node.level]
+        if node.module:
+            base.append(node.module)
+        return ".".join(base) if base else None
+
+    def _collect_class(self, node: ast.ClassDef) -> None:
+        qn = f"{self.name}.{node.name}"
+        info = ClassInfo(qn, self, node)
+        for b in node.bases:
+            dotted = _dotted_name(b)
+            if dotted is not None:
+                info.bases.append(dotted)
+        for item in node.body:
+            if isinstance(item, _FUNC_NODES):
+                m = FunctionInfo(f"{qn}.{item.name}", self, item, cls=info)
+                info.methods[item.name] = m
+        self.classes[node.name] = info
+
+
+def _dotted_name(expr: ast.AST) -> str | None:
+    """``a.b.c`` attribute/name chains as a dotted string, else ``None``."""
+    parts: list[str] = []
+    cur = expr
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    return ".".join(reversed(parts))
+
+
+class Project:
+    """All modules under one root, with cross-module name resolution."""
+
+    def __init__(self, config: LintConfig | None = None):
+        self.config = config if config is not None else LintConfig()
+        self.modules: dict[str, ModuleInfo] = {}  #: dotted name → module
+        #: Every function/method in the project, by fully qualified name.
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: Files that failed to parse: relpath → error message.
+        self.parse_errors: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def add_module(self, name: str, path: Path, relpath: str, source: str) -> None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            self.parse_errors[relpath] = f"syntax error: {exc.msg} (line {exc.lineno})"
+            return
+        mod = ModuleInfo(name, path, relpath, source, tree, self.config)
+        self.modules[name] = mod
+        for fn in mod.functions.values():
+            self.functions[fn.qualname] = fn
+        for cls in mod.classes.values():
+            self.classes[cls.qualname] = cls
+            for m in cls.methods.values():
+                self.functions[m.qualname] = m
+
+    # ------------------------------------------------------------------
+    def resolve(self, mod: ModuleInfo, dotted: str) -> str:
+        """Resolve a dotted name as used inside ``mod`` to a project FQN.
+
+        ``_obs.span`` → ``repro.observe.spans.span``;
+        ``ShmArena.attach`` → ``repro.distributed.shm.ShmArena.attach``;
+        names that do not resolve into the project come back as their
+        import-expanded form (``np.zeros`` → ``numpy.zeros``) so callers
+        can still pattern-match external APIs.
+        """
+        head, _, rest = dotted.partition(".")
+        target = None
+        if head in mod.functions:
+            target = mod.functions[head].qualname
+        elif head in mod.classes:
+            target = mod.classes[head].qualname
+        elif head in mod.imports:
+            target = mod.imports[head]
+        else:
+            target = head
+        return f"{target}.{rest}" if rest else target
+
+    def function(self, fqn: str) -> FunctionInfo | None:
+        """Look up a function by FQN, following one ``module.attr`` hop.
+
+        ``repro.observe.spans.span`` resolves whether registered directly
+        or reachable as attribute ``span`` of module ``repro.observe.spans``;
+        re-exports (``repro.observe.span``) resolve through the package's
+        import table.
+        """
+        fn = self.functions.get(fqn)
+        if fn is not None:
+            return fn
+        head, _, tail = fqn.rpartition(".")
+        mod = self.modules.get(head)
+        if mod is not None and tail:
+            if tail in mod.functions:
+                return mod.functions[tail]
+            if tail in mod.imports:  # re-export hop
+                return self.functions.get(mod.imports[tail])
+        return None
+
+    def klass(self, fqn: str) -> ClassInfo | None:
+        cls = self.classes.get(fqn)
+        if cls is not None:
+            return cls
+        head, _, tail = fqn.rpartition(".")
+        mod = self.modules.get(head)
+        if mod is not None and tail and tail in mod.imports:
+            return self.classes.get(mod.imports[tail])
+        return None
+
+    def method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """Method lookup through the (project-visible) base-class chain."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            cur = stack.pop(0)
+            if cur.qualname in seen:
+                continue
+            seen.add(cur.qualname)
+            if name in cur.methods:
+                return cur.methods[name]
+            for base in cur.bases:
+                resolved = self.resolve(cur.module, base)
+                base_cls = self.klass(resolved)
+                if base_cls is not None:
+                    stack.append(base_cls)
+        return None
+
+
+def _module_name(relpath: str) -> str:
+    """``repro/runtime/locks.py`` → ``repro.runtime.locks``."""
+    dotted = relpath[:-3] if relpath.endswith(".py") else relpath
+    dotted = dotted.replace("/", ".")
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+def build_project(paths: list[Path], *, config: LintConfig | None = None,
+                  package_anchor: str = "repro") -> Project:
+    """Parse every ``.py`` under ``paths`` into one :class:`Project`."""
+    from repro.lint.engine import LintEngine
+
+    engine = LintEngine(config, package_anchor=package_anchor)
+    project = Project(engine.config)
+    for f in LintEngine.collect_files(paths):
+        relpath = engine._relpath(f, None)
+        try:
+            source = f.read_text(encoding="utf-8")
+        except OSError as exc:
+            project.parse_errors[relpath] = f"cannot read file: {exc}"
+            continue
+        project.add_module(_module_name(relpath), f, relpath, source)
+    return project

@@ -19,7 +19,12 @@ import sys
 from pathlib import Path
 
 from repro.lint.engine import LintEngine, load_config
-from repro.lint.report import render_json, render_rule_catalog, render_text
+from repro.lint.report import (
+    render_json,
+    render_rule_catalog,
+    render_sarif,
+    render_text,
+)
 
 
 def _find_pyproject(start: Path) -> Path | None:
@@ -52,6 +57,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the deterministic JSON report to PATH "
                              "('-' for stdout)")
+    parser.add_argument("--sarif", metavar="PATH", default=None,
+                        help="write a SARIF 2.1.0 report to PATH ('-' for "
+                             "stdout)")
     parser.add_argument("--config", metavar="PYPROJECT", default=None,
                         help="pyproject.toml to read [tool.reprolint] from "
                              "(default: discovered upward from the first path)")
@@ -86,7 +94,13 @@ def main(argv: list[str] | None = None) -> int:
             sys.stdout.write(payload)
         else:
             Path(args.json).write_text(payload, encoding="utf-8")
-    if args.json != "-":
+    if args.sarif is not None:
+        payload = render_sarif(findings)
+        if args.sarif == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(args.sarif).write_text(payload, encoding="utf-8")
+    if args.json != "-" and args.sarif != "-":
         sys.stdout.write(render_text(findings, show_suppressed=args.show_suppressed))
 
     return 1 if any(not f.suppressed for f in findings) else 0

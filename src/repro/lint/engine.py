@@ -57,6 +57,9 @@ __all__ = [
     "RULES",
     "register",
     "load_config",
+    "assign_fingerprints",
+    "apply_config_allowlist",
+    "collect_suppressions",
 ]
 
 
@@ -221,6 +224,12 @@ class _Suppression:
     rules: tuple[str, ...]
     reason: str | None
     used: bool = False
+
+
+def collect_suppressions(source: str) -> dict[int, _Suppression]:
+    """Public alias of :func:`_collect_suppressions` (shared with
+    :mod:`repro.analyze`, which reuses the same comment syntax)."""
+    return _collect_suppressions(source)
 
 
 def _collect_suppressions(source: str) -> dict[int, _Suppression]:
@@ -416,6 +425,15 @@ class LintEngine:
         # rule modules register themselves on import
         from repro.lint import rules_hygiene, rules_perf, rules_runtime  # noqa: F401
 
+        # The whole-program analyses of repro.analyze share this registry
+        # (category "analysis", check=None: they never run per-module) so
+        # suppression comments naming their rule ids are recognized here
+        # instead of being reported as unknown.
+        try:
+            import repro.analyze  # noqa: F401
+        except ImportError:  # analyze layer absent/broken: lint still works
+            pass
+
         self.config = config if config is not None else LintConfig()
         selected = set(rules) if rules is not None else set(RULES)
         unknown = selected - set(RULES)
@@ -504,7 +522,7 @@ class LintEngine:
                     message=message, snippet=mod.snippet(node),
                     scope=mod.scope_name(node),
                 ))
-                self._maybe_suppress(findings[-1], mod, suppressions)
+                self._maybe_suppress(findings[-1], mod, suppressions, node=node)
 
         findings.extend(self._audit_suppressions(mod, suppressions))
         findings.sort(key=Finding.sort_key)
@@ -512,9 +530,18 @@ class LintEngine:
         return findings
 
     def _maybe_suppress(self, finding: Finding, mod: ModuleView,
-                        suppressions: dict[int, _Suppression]) -> None:
-        node_lines = [finding.line] + [
-            ln for ln in self._def_lines(mod, finding) if ln != finding.line
+                        suppressions: dict[int, _Suppression],
+                        node: ast.AST | None = None) -> None:
+        node_lines = [finding.line]
+        # A multi-line statement may carry its suppression comment on any
+        # of its physical lines (typically the closing one); scope bodies
+        # (def/class) are excluded so an interior comment cannot silence a
+        # finding on the definition itself.
+        if node is not None and not isinstance(node, _SCOPE_NODES):
+            end = getattr(node, "end_lineno", None) or finding.line
+            node_lines += [ln for ln in range(finding.line + 1, end + 1)]
+        node_lines += [
+            ln for ln in self._def_lines(mod, finding) if ln not in node_lines
         ]
         for ln in node_lines:
             supp = suppressions.get(ln)
@@ -566,7 +593,7 @@ class LintEngine:
                     if supp.line <= len(mod.lines) else "",
                     scope="<module>",
                 ))
-            elif not supp.used:
+            elif not supp.used and not _analysis_only(supp.rules):
                 out.append(Finding(
                     rule="unused-suppression", path=mod.relpath, line=supp.line,
                     col=0,
@@ -582,30 +609,53 @@ class LintEngine:
 
     # ------------------------------------------------------------------
     def _assign_fingerprints(self, findings: list[Finding]) -> None:
-        seen: dict[tuple, int] = {}
-        for f in findings:
-            norm = re.sub(r"\s+", " ", f.snippet.split("#", 1)[0]).strip()
-            key = (f.rule, f.path, f.scope, norm)
-            index = seen.get(key, 0)
-            seen[key] = index + 1
-            f.fingerprint = _fingerprint(f.rule, f.path, f.scope, norm, index)
+        assign_fingerprints(findings)
 
     def _apply_config_allowlist(self, findings: list[Finding]) -> None:
-        allow_fp = set(self.config.allow_fingerprints)
-        allow_rules = [
-            entry.split(":", 1) for entry in self.config.allow_rules
-            if ":" in entry
-        ]
-        for f in findings:
-            if f.suppressed:
-                continue
-            if f.fingerprint in allow_fp:
-                f.suppressed = True
-                f.reason = "config allowlist (fingerprint)"
-            elif any(rid == f.rule and fnmatch.fnmatch(f.path, glob)
-                     for rid, glob in allow_rules):
-                f.suppressed = True
-                f.reason = "config allowlist (rule:path)"
+        apply_config_allowlist(findings, self.config)
+
+
+def _analysis_only(rule_ids: Iterable[str]) -> bool:
+    """All named rules are whole-program analyses (category "analysis")?
+
+    The per-module linter can never match those, so their unused audit
+    belongs to :mod:`repro.analyze` — flagging them here would make every
+    analyzer suppression fail ``repro lint``.
+    """
+    ids = [r for r in rule_ids if r != "*"]
+    return bool(ids) and all(
+        r in RULES and RULES[r].category == "analysis" for r in ids
+    )
+
+
+def assign_fingerprints(findings: list[Finding]) -> None:
+    """Stable code-identity fingerprints (shared by lint and analyze)."""
+    seen: dict[tuple, int] = {}
+    for f in findings:
+        norm = re.sub(r"\s+", " ", f.snippet.split("#", 1)[0]).strip()
+        key = (f.rule, f.path, f.scope, norm)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        f.fingerprint = _fingerprint(f.rule, f.path, f.scope, norm, index)
+
+
+def apply_config_allowlist(findings: list[Finding], config: LintConfig) -> None:
+    """Suppress findings named by the ``[tool.reprolint]`` allowlists."""
+    allow_fp = set(config.allow_fingerprints)
+    allow_rules = [
+        entry.split(":", 1) for entry in config.allow_rules
+        if ":" in entry
+    ]
+    for f in findings:
+        if f.suppressed:
+            continue
+        if f.fingerprint in allow_fp:
+            f.suppressed = True
+            f.reason = "config allowlist (fingerprint)"
+        elif any(rid == f.rule and fnmatch.fnmatch(f.path, glob)
+                 for rid, glob in allow_rules):
+            f.suppressed = True
+            f.reason = "config allowlist (rule:path)"
 
 
 # engine-emitted rules are registered here so --list-rules documents them

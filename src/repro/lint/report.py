@@ -14,9 +14,22 @@ from typing import Iterable, Sequence
 
 from repro.lint.engine import RULES, Finding
 
-__all__ = ["render_text", "render_json", "summarize", "REPORT_VERSION"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "summarize",
+    "REPORT_VERSION",
+    "SARIF_VERSION",
+]
 
 REPORT_VERSION = 1
+
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def summarize(findings: Sequence[Finding]) -> dict:
@@ -33,7 +46,8 @@ def summarize(findings: Sequence[Finding]) -> dict:
     }
 
 
-def render_text(findings: Sequence[Finding], *, show_suppressed: bool = False) -> str:
+def render_text(findings: Sequence[Finding], *, show_suppressed: bool = False,
+                tool: str = "repro.lint") -> str:
     """One line per finding plus a summary, grep-friendly."""
     lines: list[str] = []
     shown = [f for f in findings if show_suppressed or not f.suppressed]
@@ -48,24 +62,92 @@ def render_text(findings: Sequence[Finding], *, show_suppressed: bool = False) -
     if s["active"]:
         per_rule = ", ".join(f"{k}×{v}" for k, v in s["by_rule"].items())
         lines.append(
-            f"repro.lint: {s['active']} finding(s) ({per_rule}); "
+            f"{tool}: {s['active']} finding(s) ({per_rule}); "
             f"{s['suppressed']} suppressed"
         )
     else:
         lines.append(
-            f"repro.lint: clean ({s['suppressed']} suppressed finding(s) "
+            f"{tool}: clean ({s['suppressed']} suppressed finding(s) "
             "carry written reasons)"
         )
     return "\n".join(lines) + "\n"
 
 
-def render_json(findings: Sequence[Finding]) -> str:
+def render_json(findings: Sequence[Finding], *, tool: str = "repro.lint") -> str:
     """The deterministic JSON report (see module docstring)."""
     obj = {
         "version": REPORT_VERSION,
-        "tool": "repro.lint",
+        "tool": tool,
         "summary": summarize(findings),
         "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(obj, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(findings: Sequence[Finding], *, tool: str = "repro.lint") -> str:
+    """SARIF 2.1.0, deterministic like the JSON report.
+
+    Active findings become ``error``-level results; suppressed ones are
+    emitted with a SARIF ``suppressions`` entry (kind ``inSource``) so
+    viewers show them greyed out rather than dropping the audit trail.
+    Fingerprints ride along as ``partialFingerprints`` for cross-run
+    matching.
+    """
+    present = sorted({f.rule for f in findings})
+    rules = []
+    for rid in present:
+        rule = RULES.get(rid)
+        desc = rule.summary if rule is not None else rid
+        entry = {
+            "id": rid,
+            "shortDescription": {"text": desc},
+        }
+        if rule is not None and rule.paper:
+            entry["properties"] = {"paper": rule.paper}
+        rules.append(entry)
+
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": present.index(f.rule),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": f.col + 1,
+                    },
+                },
+                "logicalLocations": [{"fullyQualifiedName": f.scope}],
+            }],
+            "partialFingerprints": {"reproFingerprint/v1": f.fingerprint},
+        }
+        if f.snippet:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            region["snippet"] = {"text": f.snippet}
+        if f.suppressed:
+            supp = {"kind": "inSource"}
+            if f.reason:
+                supp["justification"] = f.reason
+            result["suppressions"] = [supp]
+        results.append(result)
+
+    obj = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool,
+                    "rules": rules,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
     }
     return json.dumps(obj, indent=2, sort_keys=True) + "\n"
 

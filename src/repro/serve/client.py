@@ -55,7 +55,11 @@ class ServeClient:
         self._sock = socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         )
-        self._rfile = self._sock.makefile("rb")
+        try:
+            self._rfile = self._sock.makefile("rb")
+        except BaseException:
+            self.close()
+            raise
         return self
 
     def close(self) -> None:

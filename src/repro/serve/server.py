@@ -161,24 +161,37 @@ class ReproServer:
         return self._tcp.server_address[1]
 
     def start(self) -> "ReproServer":
-        """Bind, start the scheduler and the accept loop (non-blocking)."""
-        if self.config.sanitize:
-            from repro.sanitize import sanitizing
+        """Bind, start the scheduler and the accept loop (non-blocking).
 
-            self._san_cm = sanitizing(seed=self.config.sanitize_seed)
-            self.sanitizer = self._san_cm.__enter__()
-        if self.config.fault_targets:
-            self._fault_cm = inject_faults(
-                FaultPlan(targets=self.config.fault_targets)
+        The sanitizer and fault-plan installs are process-global; if the
+        bind (or anything else mid-start) fails they must be unwound, or
+        the failed daemon leaves every later decomposition in this
+        process running sanitized/faulted.
+        """
+        try:
+            if self.config.sanitize:
+                from repro.sanitize import sanitizing
+
+                self._san_cm = sanitizing(seed=self.config.sanitize_seed)
+                self.sanitizer = self._san_cm.__enter__()
+            if self.config.fault_targets:
+                self._fault_cm = inject_faults(
+                    FaultPlan(targets=self.config.fault_targets)
+                )
+                self._fault_cm.__enter__()
+            self._tcp = _TcpServer(
+                (self.config.host, self.config.port), _Handler
             )
-            self._fault_cm.__enter__()
-        self._tcp = _TcpServer((self.config.host, self.config.port), _Handler)
-        self._tcp.repro_server = self
-        self.scheduler.start()
-        self._serve_thread = threading.Thread(
-            target=self._tcp.serve_forever, name="serve-accept", daemon=True
-        )
-        self._serve_thread.start()
+            self._tcp.repro_server = self
+            self.scheduler.start()
+            self._serve_thread = threading.Thread(
+                target=self._tcp.serve_forever, name="serve-accept",
+                daemon=True,
+            )
+            self._serve_thread.start()
+        except BaseException:
+            self.close()
+            raise
         return self
 
     def wait_for_shutdown(self, timeout: float | None = None) -> bool:

@@ -1,0 +1,629 @@
+"""repro.analyze: symbol/call-graph resolution, the dataflow driver, the
+four interprocedural analyses against their seeded-fault fixtures, report
+determinism, the self-check over the real tree, the CLI, and the static
+race seeds feeding the sanitizer's schedule fuzzer."""
+
+import ast
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import AnalyzeEngine
+from repro.analyze.callgraph import build_callgraph
+from repro.analyze.dataflow import ForwardAnalysis, may_raise
+from repro.analyze.selfcheck import FIXTURES, fixture_project, run_selfcheck
+from repro.analyze.symbols import Project
+from repro.lint import LintConfig, RULES, load_config
+from repro.lint.report import render_json, render_sarif, render_text
+from repro.sanitize.fuzz import SchedulePerturber, weights_from_race_sites
+
+REPO = Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO / "src" / "repro"
+
+ANALYSIS_IDS = ("dispatch-contract", "must-release", "escaped-shared-write",
+                "hot-call")
+
+
+def make_project(modules: dict[str, str],
+                 config: LintConfig | None = None) -> Project:
+    """An in-memory project from {package-relative path: source}."""
+    project = Project(config or LintConfig())
+    for relpath, source in modules.items():
+        name = relpath[:-3].replace("/", ".")
+        project.add_module(name, Path(f"<test:{relpath}>"), relpath, source)
+    return project
+
+
+def analyze(modules: dict[str, str], *, analyses=None):
+    engine = AnalyzeEngine(LintConfig(), analyses=analyses)
+    return engine.analyze_project(make_project(modules))
+
+
+def active(findings):
+    return [f for f in findings if not f.suppressed]
+
+
+# ======================================================================
+# symbols + call graph
+# ======================================================================
+class TestSymbols:
+    def test_from_import_resolves_to_defining_module(self):
+        project = make_project({
+            "repro/helpers.py": "def work(x):\n    return x\n",
+            "repro/driver.py": "from repro.helpers import work\n\n"
+                               "def go(x):\n    return work(x)\n",
+        })
+        driver = project.modules["repro.driver"]
+        assert project.resolve(driver, "work") == "repro.helpers.work"
+        assert project.function("repro.helpers.work") is not None
+
+    def test_relative_import_resolves(self):
+        project = make_project({
+            "repro/helpers.py": "def work(x):\n    return x\n",
+            "repro/driver.py": "from .helpers import work\n\n"
+                               "def go(x):\n    return work(x)\n",
+        })
+        driver = project.modules["repro.driver"]
+        assert project.resolve(driver, "work") == "repro.helpers.work"
+
+    def test_method_found_through_base_chain(self):
+        project = make_project({
+            "repro/base.py": "class A:\n    def m(self):\n        return 1\n",
+            "repro/derived.py": "from repro.base import A\n\n"
+                                "class B(A):\n    pass\n",
+        })
+        b = project.klass("repro.derived.B")
+        assert b is not None
+        m = project.method(b, "m")
+        assert m is not None and m.name == "m"
+
+
+class TestCallGraph:
+    def test_direct_call_edge(self):
+        project = make_project({
+            "repro/helpers.py": "def work(x):\n    return x\n",
+            "repro/driver.py": "from repro.helpers import work\n\n"
+                               "def go(x):\n    return work(x)\n",
+        })
+        graph = build_callgraph(project)
+        assert "repro.helpers.work" in graph.callees("repro.driver.go")
+        assert "repro.driver.go" in graph.callers("repro.helpers.work")
+
+    def test_constructor_types_receiver_methods(self):
+        project = make_project({
+            "repro/pool.py": "class Pool:\n"
+                             "    def dispatch(self, fn):\n"
+                             "        return fn()\n",
+            "repro/driver.py": "from repro.pool import Pool\n\n"
+                               "def go(fn):\n"
+                               "    p = Pool()\n"
+                               "    return p.dispatch(fn)\n",
+        })
+        graph = build_callgraph(project)
+        assert "repro.pool.Pool.dispatch" in graph.callees("repro.driver.go")
+
+    def test_reachability_closures(self):
+        project = make_project({
+            "repro/m.py": "def a():\n    return b()\n\n"
+                          "def b():\n    return c()\n\n"
+                          "def c():\n    return 0\n",
+        })
+        graph = build_callgraph(project)
+        assert graph.reachable_from({"repro.m.a"}) >= {
+            "repro.m.a", "repro.m.b", "repro.m.c"}
+        assert graph.transitive_callers({"repro.m.c"}) >= {
+            "repro.m.a", "repro.m.b", "repro.m.c"}
+
+
+# ======================================================================
+# the forward-dataflow driver
+# ======================================================================
+class _ConstFlow(ForwardAnalysis):
+    """Tiny integer-constant propagation for driver tests."""
+
+    def eval_expr(self, expr, env):
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        return None
+
+
+def _exit_envs(src: str):
+    fn = ast.parse(src).body[0]
+    return _ConstFlow().run(fn)
+
+
+class TestDataflow:
+    def test_straight_line_binding(self):
+        (env,) = _exit_envs("def f():\n    x = 1\n    return x\n")
+        assert env["x"] == 1
+
+    def test_branch_join_keeps_agreement_only(self):
+        (env,) = _exit_envs(
+            "def f(c):\n"
+            "    if c:\n        x = 1\n        y = 5\n"
+            "    else:\n        x = 2\n        y = 5\n"
+            "    return x\n")
+        assert "x" not in env  # disagrees across arms
+        assert env["y"] == 5   # agrees across arms
+
+    def test_loop_reaches_fixpoint(self):
+        (env,) = _exit_envs(
+            "def f(xs):\n"
+            "    x = 1\n"
+            "    for _ in xs:\n        x = 2\n"
+            "    return x\n")
+        assert "x" not in env  # 1 on the zero-trip path, 2 otherwise
+
+    def test_each_return_gets_its_own_env(self):
+        envs = _exit_envs(
+            "def f(c):\n"
+            "    if c:\n        x = 1\n        return x\n"
+            "    x = 2\n    return x\n")
+        assert sorted(e["x"] for e in envs) == [1, 2]
+
+    def test_may_raise_vocabulary(self):
+        def stmt(src):
+            return ast.parse(src).body[0]
+        assert not may_raise(stmt("x = y"))
+        assert not may_raise(stmt("self.x = y"))  # plain attribute store
+        assert may_raise(stmt("x = f()"))
+        assert may_raise(stmt("a[i] = 1"))
+        assert may_raise(stmt("raise ValueError"))
+        assert may_raise(stmt("assert x"))
+        # a nested def's body does not run at the def statement
+        assert not may_raise(stmt("def g():\n    return f()"))
+
+
+# ======================================================================
+# the seeded-fault fixtures (one bug class per analysis)
+# ======================================================================
+class TestSelfcheck:
+    def test_selfcheck_passes(self):
+        assert run_selfcheck() == []
+
+    def test_every_analysis_has_a_seeded_fixture(self):
+        expected_rules = {rule for fx in FIXTURES for rule, _ in fx.expect}
+        assert expected_rules == set(ANALYSIS_IDS)
+
+    def test_analysis_rules_registered_without_lexical_check(self):
+        for rid in ANALYSIS_IDS:
+            assert rid in RULES and RULES[rid].check is None
+            assert RULES[rid].category == "analysis"
+
+    def test_analysis_subset_selection(self):
+        engine = AnalyzeEngine(LintConfig(), analyses=["must-release"])
+        findings = engine.analyze_project(fixture_project())
+        assert {f.rule for f in active(findings)} == {"must-release"}
+
+    def test_unknown_analysis_id_rejected(self):
+        with pytest.raises(ValueError):
+            AnalyzeEngine(LintConfig(), analyses=["no-such-analysis"])
+
+
+# ======================================================================
+# dispatch-contract specifics
+# ======================================================================
+class TestContracts:
+    def test_astype_repairs_the_dtype(self):
+        findings = analyze({
+            "repro/m.py": (
+                "import numpy as np\n\n"
+                "def f(backend, segments, n, rank):\n"
+                "    vals = np.zeros((n, rank), dtype=np.float32)\n"
+                "    vals = vals.astype(np.float64)\n"
+                "    out = np.zeros((segments.max() + 1, rank))\n"
+                "    backend.segment_sum(vals, segments, out)\n"
+            ),
+        }, analyses=["dispatch-contract"])
+        assert not active(findings)
+
+    def test_ascontiguousarray_repairs_the_layout(self):
+        findings = analyze({
+            "repro/m.py": (
+                "import numpy as np\n\n"
+                "def f(backend, segments, vals, out):\n"
+                "    flipped = np.ascontiguousarray(vals.T)\n"
+                "    backend.segment_sum(flipped, segments, out)\n"
+            ),
+        }, analyses=["dispatch-contract"])
+        assert not active(findings)
+
+    def test_unknown_inputs_are_not_flagged(self):
+        # only *provable* conflicts report — a bare parameter is unknown
+        findings = analyze({
+            "repro/m.py": (
+                "def f(backend, vals, segments, out):\n"
+                "    backend.segment_sum(vals, segments, out)\n"
+            ),
+        }, analyses=["dispatch-contract"])
+        assert not active(findings)
+
+    def test_value_dtype_constant_resolves(self):
+        findings = analyze({
+            "repro/m.py": (
+                "import numpy as np\n"
+                "from repro._util import VALUE_DTYPE\n\n"
+                "def f(backend, segments, n, rank, out):\n"
+                "    vals = np.zeros((n, rank), dtype=VALUE_DTYPE)\n"
+                "    backend.segment_sum(vals, segments, out)\n"
+            ),
+        }, analyses=["dispatch-contract"])
+        assert not active(findings)
+
+    def test_index_argument_requires_int64(self):
+        findings = analyze({
+            "repro/m.py": (
+                "import numpy as np\n\n"
+                "def f(backend, n, rank, out):\n"
+                "    vals = np.zeros((n, rank))\n"
+                "    segments = np.zeros(n, dtype=np.float64)\n"
+                "    backend.segment_sum(vals, segments, out)\n"
+            ),
+        }, analyses=["dispatch-contract"])
+        flagged = active(findings)
+        assert flagged and all(f.rule == "dispatch-contract" for f in flagged)
+
+
+# ======================================================================
+# must-release specifics
+# ======================================================================
+class TestLifecycle:
+    def test_with_statement_is_safe(self):
+        findings = analyze({
+            "repro/m.py": (
+                "def f(path, work):\n"
+                "    with open(path) as fh:\n"
+                "        return work(fh.read())\n"
+            ),
+        }, analyses=["must-release"])
+        assert not active(findings)
+
+    def test_returning_the_handle_transfers_ownership(self):
+        findings = analyze({
+            "repro/m.py": "def f(path):\n    fh = open(path)\n    return fh\n",
+        }, analyses=["must-release"])
+        assert not active(findings)
+
+    def test_passing_the_handle_transfers_ownership(self):
+        findings = analyze({
+            "repro/m.py": (
+                "def f(path, sink):\n"
+                "    fh = open(path)\n"
+                "    sink.adopt(fh)\n"
+            ),
+        }, analyses=["must-release"])
+        assert not active(findings)
+
+    def test_self_stored_in_start_flags_unprotected_raise_site(self):
+        findings = analyze({
+            "repro/m.py": (
+                "class C:\n"
+                "    def start(self, path):\n"
+                "        self._fh = open(path)\n"
+                "        self._parse()\n"
+            ),
+        }, analyses=["must-release"])
+        flagged = active(findings)
+        assert [f.rule for f in flagged] == ["must-release"]
+        assert flagged[0].line == 3  # reported at the acquire site
+        assert "raise" in flagged[0].message
+
+    def test_unwind_through_self_close_is_safe(self):
+        # the exact shape of the ReproServer.start fix: the unwind handler
+        # releases through a self-method whose summary frees the token
+        findings = analyze({
+            "repro/m.py": (
+                "class C:\n"
+                "    def close(self):\n"
+                "        if self._fh is not None:\n"
+                "            self._fh.close()\n"
+                "            self._fh = None\n\n"
+                "    def start(self, path):\n"
+                "        self._fh = open(path)\n"
+                "        try:\n"
+                "            self._parse()\n"
+                "        except BaseException:\n"
+                "            self.close()\n"
+                "            raise\n"
+            ),
+        }, analyses=["must-release"])
+        assert not active(findings)
+
+    def test_suppression_comment_silences_with_reason(self):
+        findings = analyze({
+            "repro/m.py": (
+                "def f(lock, work):\n"
+                "    lock.acquire()  # reprolint: allow(must-release) — "
+                "released by the caller\n"
+                "    work()\n"
+            ),
+        }, analyses=["must-release"])
+        assert not active(findings)
+        assert any(f.suppressed and f.rule == "must-release" for f in findings)
+
+
+# ======================================================================
+# escaped-shared-write specifics + the race-site artifact
+# ======================================================================
+class TestEscape:
+    def _run_fixtures(self):
+        engine = AnalyzeEngine(LintConfig())
+        findings = engine.analyze_project(fixture_project())
+        return engine, findings
+
+    def test_race_sites_artifact_prioritized(self):
+        engine, _ = self._run_fixtures()
+        sites = engine.last_context.artifacts["race_sites"]
+        assert sites, "the seeded race fixture must produce candidates"
+        weights = [s["weight"] for s in sites]
+        assert weights == sorted(weights, reverse=True)
+        for site in sites:
+            assert {"path", "line", "scope", "array", "kind",
+                    "dispatch", "weight"} <= set(site)
+
+    def test_thread_target_dispatch_recognized(self):
+        findings = analyze({
+            "repro/m.py": (
+                "import threading\n"
+                "import numpy as np\n\n"
+                "def f(values, n):\n"
+                "    out = np.zeros(1)\n\n"
+                "    def body(tid):\n"
+                "        out[0] += values[tid]\n\n"
+                "    ts = [threading.Thread(target=body, args=(i,))\n"
+                "          for i in range(n)]\n"
+            ),
+        }, analyses=["escaped-shared-write"])
+        flagged = active(findings)
+        assert flagged and all(
+            f.rule == "escaped-shared-write" for f in flagged)
+
+    def test_tid_derived_index_exonerates(self):
+        findings = analyze({
+            "repro/m.py": (
+                "import numpy as np\n\n"
+                "def f(layer, values, ntasks):\n"
+                "    out = np.zeros(ntasks)\n\n"
+                "    def body(tid):\n"
+                "        row = tid\n"
+                "        out[row] = values[tid]\n\n"
+                "    layer.coforall(ntasks, body)\n"
+                "    return out\n"
+            ),
+        }, analyses=["escaped-shared-write"])
+        assert not active(findings)
+
+
+# ======================================================================
+# hot-call specifics
+# ======================================================================
+class TestHotness:
+    def test_finding_names_the_hot_origin_chain(self):
+        engine = AnalyzeEngine(LintConfig(), analyses=["hot-call"])
+        findings = active(engine.analyze_project(fixture_project()))
+        assert findings
+        msg = findings[0].message
+        assert "repro/mttkrp/fixture_kernel.py" in msg  # the seeding hot loop
+        assert "hoist" in msg
+
+    def test_hot_functions_artifact_has_origin_chains(self):
+        engine = AnalyzeEngine(LintConfig(), analyses=["hot-call"])
+        engine.analyze_project(fixture_project())
+        hot = engine.last_context.artifacts["hot_functions"]
+        assert "repro.fixture_helpers.accumulate" in hot
+        assert "repro/mttkrp/fixture_kernel.py" in hot[
+            "repro.fixture_helpers.accumulate"]
+
+    def test_hot_modules_are_left_to_the_linter(self):
+        # the allocation sits in a hot module: repro.lint territory, and
+        # double-reporting it here would just duplicate findings
+        findings = analyze({
+            "repro/mttkrp/kernel.py": (
+                "import numpy as np\n\n"
+                "def kernel(n, out, rows):\n"
+                "    for i in range(n):\n"
+                "        out += np.zeros(3)\n"
+                "    return out\n"
+            ),
+        }, analyses=["hot-call"])
+        assert not active(findings)
+
+
+# ======================================================================
+# determinism + the shipped tree
+# ======================================================================
+class TestDeterminism:
+    def test_fixture_reports_byte_identical(self):
+        runs = []
+        for _ in range(2):
+            engine = AnalyzeEngine(LintConfig())
+            findings = engine.analyze_project(fixture_project())
+            runs.append((render_json(findings, tool="repro.analyze"),
+                         render_sarif(findings, tool="repro.analyze")))
+        assert runs[0] == runs[1]
+
+    def test_src_repro_report_byte_identical(self):
+        cfg = load_config(REPO / "pyproject.toml")
+        a = render_json(AnalyzeEngine(cfg).analyze_paths([SRC_REPRO]),
+                        tool="repro.analyze")
+        b = render_json(AnalyzeEngine(cfg).analyze_paths([SRC_REPRO]),
+                        tool="repro.analyze")
+        assert a == b
+        assert str(REPO) not in a  # package-relative paths only
+
+
+class TestSelfClean:
+    """The shipped tree must be analyze-clean under the shipped config."""
+
+    def test_src_repro_is_clean(self):
+        cfg = load_config(REPO / "pyproject.toml")
+        findings = AnalyzeEngine(cfg).analyze_paths([SRC_REPRO])
+        dirty = active(findings)
+        assert not dirty, render_text(findings, tool="repro.analyze")
+
+    def test_suppressions_in_tree_all_carry_reasons(self):
+        cfg = load_config(REPO / "pyproject.toml")
+        for f in AnalyzeEngine(cfg).analyze_paths([SRC_REPRO]):
+            assert f.suppressed and f.reason
+
+
+# ======================================================================
+# the CLI (module form and the ``repro`` subcommands)
+# ======================================================================
+def run_cli(*args, module="repro.analyze", cwd=REPO):
+    return subprocess.run(
+        [sys.executable, "-m", module, *args],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self):
+        proc = run_cli("src/repro")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "repro.analyze: clean" in proc.stdout
+
+    def test_dirty_tree_exits_one(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "def f(lock, work):\n    lock.acquire()\n    work()\n"
+        )
+        proc = run_cli(str(tmp_path / "repro"))
+        assert proc.returncode == 1
+        assert "must-release" in proc.stdout
+
+    def test_selfcheck_flag(self):
+        proc = run_cli("--selfcheck")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_list_analyses(self):
+        proc = run_cli("--list-analyses")
+        assert proc.returncode == 0
+        for rid in ANALYSIS_IDS:
+            assert rid in proc.stdout
+
+    def test_json_stdout(self):
+        proc = run_cli("src/repro", "--json", "-")
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["tool"] == "repro.analyze"
+        assert report["summary"]["active"] == 0
+
+    def test_sarif_file_written(self, tmp_path):
+        out = tmp_path / "report.sarif"
+        proc = run_cli("src/repro", "--sarif", str(out))
+        assert proc.returncode == 0
+        sarif = json.loads(out.read_text())
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["tool"]["driver"]["name"] == "repro.analyze"
+
+    def test_seeds_out_written(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "racy.py").write_text(
+            "import numpy as np\n\n"
+            "def f(layer, values, ntasks):\n"
+            "    out = np.zeros(1)\n\n"
+            "    def body(tid):\n"
+            "        out[0] += values[tid]\n\n"
+            "    layer.coforall(ntasks, body)\n"
+            "    return out\n"
+        )
+        seeds = tmp_path / "seeds.json"
+        proc = run_cli(str(tmp_path / "repro"), "--seeds-out", str(seeds))
+        assert proc.returncode == 1  # the race is an active finding too
+        payload = json.loads(seeds.read_text())
+        assert payload["tool"] == "repro.analyze"
+        assert payload["sites"] and payload["sites"][0]["weight"] >= 2
+
+    def test_repro_analyze_subcommand(self):
+        proc = run_cli("analyze", "--selfcheck", module="repro.cli")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_repro_lint_subcommand(self):
+        proc = run_cli("lint", "src/repro", module="repro.cli")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "repro.lint: clean" in proc.stdout
+
+    def test_repro_lint_subcommand_exit_one_on_findings(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("def f(x):\n    assert x\n    return x\n")
+        proc = run_cli("lint", str(tmp_path / "repro"), module="repro.cli")
+        assert proc.returncode == 1
+        assert "assert-invariant" in proc.stdout
+
+
+# ======================================================================
+# static race seeds → the sanitizer's schedule fuzzer
+# ======================================================================
+class TestFuzzSeeds:
+    SITES = [{"path": "repro/m.py", "line": 8, "weight": 3},
+             {"path": "repro/m.py", "line": 9, "weight": 2}]
+
+    def test_no_candidates_no_bias(self):
+        assert weights_from_race_sites([]) == {}
+
+    def test_boost_caps_at_four_x(self):
+        weights = weights_from_race_sites([{"weight": 50}])
+        assert weights and all(w == 4.0 for w in weights.values())
+        assert "tasking.coforall" in weights and "pool.dispatch" in weights
+
+    def test_probability_clamped_to_one(self):
+        p = SchedulePerturber(7, pause_probability=0.5,
+                              site_weights={"task.begin": 4.0})
+        assert p.probability("task.begin") == 1.0
+        assert p.probability("lock.acquire") == 0.5  # unweighted site
+
+    def test_zero_weight_site_never_pauses(self):
+        p = SchedulePerturber(7, pause_probability=1.0, max_sleep_us=0,
+                              site_weights={"lock.acquire": 0.0})
+        for _ in range(32):
+            p.pause("lock.acquire")
+        assert p.arrivals("lock.acquire") == 32 and p.pauses == 0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulePerturber(0, site_weights={"task.begin": -1.0})
+
+    def test_draw_sequence_unchanged_by_weights(self):
+        plain = SchedulePerturber(3)
+        biased = SchedulePerturber(3, site_weights={"task.begin": 4.0})
+        assert plain.decisions("task.begin", 16) == \
+            biased.decisions("task.begin", 16)
+
+    def test_weights_only_widen_the_accept_set(self):
+        plain = SchedulePerturber(3, pause_probability=0.25, max_sleep_us=0)
+        biased = SchedulePerturber(3, pause_probability=0.25, max_sleep_us=0,
+                                   site_weights={"task.begin": 3.0})
+        for _ in range(64):
+            plain.pause("task.begin")
+            biased.pause("task.begin")
+        assert biased.pauses >= plain.pauses
+        assert biased.pauses > 0
+
+    def test_from_seed_file(self, tmp_path):
+        seeds = tmp_path / "seeds.json"
+        seeds.write_text(json.dumps(
+            {"version": 1, "tool": "repro.analyze", "sites": self.SITES}))
+        p = SchedulePerturber.from_seed_file(seeds, seed=5,
+                                             pause_probability=0.2)
+        assert p.seed == 5
+        assert p.probability("tasking.coforall") == pytest.approx(0.8)
+        assert p.probability("lock.acquire") == pytest.approx(0.2)
+
+    def test_from_seed_file_without_sites_is_unbiased(self, tmp_path):
+        seeds = tmp_path / "seeds.json"
+        seeds.write_text(json.dumps(
+            {"version": 1, "tool": "repro.analyze", "sites": []}))
+        p = SchedulePerturber.from_seed_file(seeds)
+        assert p.site_weights == {}

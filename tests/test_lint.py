@@ -457,3 +457,141 @@ class TestOrderOneRootKernel:
         root_range_vectorized(tree, [np.ones((11, 2))], split, 0, 2)
         root_range_vectorized(tree, [np.ones((11, 2))], split, 2, tree.nslices)
         np.testing.assert_allclose(split, full)
+
+
+# ======================================================================
+# suppression edge cases: decorated defs, multi-line statements, nested
+# class bodies (the spots where line-based matching is easy to get wrong)
+# ======================================================================
+class TestSuppressionEdgeCases:
+    def _lint(self, src, relpath="repro/core/fixture.py"):
+        return LintEngine().lint_source(src, relpath=relpath)
+
+    def test_def_line_suppression_survives_decorators(self):
+        src = (
+            "import functools\n"
+            "\n"
+            "@functools.lru_cache\n"
+            "def f(x):  # reprolint: allow(assert-invariant) — validated "
+            "at the API boundary\n"
+            "    assert x\n"
+            "    return x\n"
+        )
+        findings = self._lint(src)
+        assert not active(findings)
+        assert any(f.suppressed and f.rule == "assert-invariant"
+                   for f in findings)
+
+    def test_multi_line_statement_trailing_comment(self):
+        # the finding anchors on the call's first line; the allow comment
+        # sits on the closing-paren line two lines below
+        src = (
+            "import numpy as np\n"
+            "\n"
+            "def f(out, idx, vals):\n"
+            "    for chunk in idx:\n"
+            "        np.add.at(\n"
+            "            out, chunk, vals,\n"
+            "        )  # reprolint: allow(raw-scatter) — one-shot path, "
+            "no plan cache\n"
+        )
+        findings = self._lint(src, relpath="repro/completion/fixture.py")
+        assert not active(findings)
+        assert any(f.suppressed and f.rule == "raw-scatter" for f in findings)
+
+    def test_interior_comment_cannot_silence_the_def_itself(self):
+        # a comment INSIDE a multi-line def body must not suppress a
+        # finding anchored on the def line (scope bodies are excluded
+        # from span matching)
+        src = (
+            "def f(x, acc=[]):\n"
+            "    y = 1  # reprolint: allow(mutable-default-arg) — nope\n"
+            "    acc.append(x)\n"
+            "    return acc\n"
+        )
+        findings = self._lint(src)
+        assert any(not f.suppressed and f.rule == "mutable-default-arg"
+                   for f in findings)
+
+    def test_nested_class_line_scopes_to_its_body(self):
+        src = (
+            "class Outer:\n"
+            "    class Inner:  # reprolint: allow(assert-invariant) — "
+            "documented invariants, fixture only\n"
+            "        def check(self, x):\n"
+            "            assert x\n"
+            "            return x\n"
+        )
+        findings = self._lint(src)
+        assert not active(findings)
+        silenced = [f for f in findings if f.suppressed]
+        assert silenced and silenced[0].scope == "Outer.Inner.check"
+
+    def test_analysis_rule_suppressions_not_audited_as_unused_by_lint(self):
+        # the per-file linter cannot see whole-program findings, so an
+        # allow(must-release) must not be flagged unused by repro.lint —
+        # repro.analyze audits those
+        src = (
+            "def f(lock, work):\n"
+            "    lock.acquire()  # reprolint: allow(must-release) — "
+            "released by the caller on completion\n"
+            "    work()\n"
+        )
+        findings = self._lint(src)
+        assert not [f for f in active(findings)
+                    if f.rule == "unused-suppression"]
+
+
+# ======================================================================
+# SARIF output (shared report layer; golden file pins the format)
+# ======================================================================
+class TestSarif:
+    SARIF_GOLDEN = FIXTURES / "meta" / "golden.sarif"
+
+    def _findings(self):
+        src = (
+            "def f(x):\n"
+            "    assert x\n"
+            "    try:\n"
+            "        return 1 / x\n"
+            "    except:  # reprolint: allow(bare-except) — fixture, "
+            "demonstrates suppression passthrough\n"
+            "        return 0\n"
+        )
+        return LintEngine().lint_source(src, relpath="repro/core/fixture.py")
+
+    def test_matches_golden_file(self):
+        from repro.lint.report import render_sarif
+
+        payload = render_sarif(self._findings())
+        golden = self.SARIF_GOLDEN.read_text(encoding="utf-8")
+        assert payload == golden, (
+            "SARIF output drifted from tests/lint_fixtures/meta/golden.sarif"
+            " — if the change is intentional, regenerate the golden file"
+        )
+
+    def test_structure(self):
+        from repro.lint.report import render_sarif
+
+        sarif = json.loads(render_sarif(self._findings()))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.lint"
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        results = run["results"]
+        assert {r["ruleId"] for r in results} <= rules
+        active_results = [r for r in results if "suppressions" not in r]
+        suppressed = [r for r in results if "suppressions" in r]
+        assert len(active_results) == 1  # the assert-invariant
+        assert len(suppressed) == 1      # the allowed bare-except
+        assert suppressed[0]["suppressions"][0]["kind"] == "inSource"
+        for r in results:
+            assert "reproFingerprint/v1" in r["partialFingerprints"]
+            loc = r["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == "repro/core/fixture.py"
+
+    def test_sarif_deterministic(self):
+        from repro.lint.report import render_sarif
+
+        assert render_sarif(self._findings()) == \
+            render_sarif(self._findings())

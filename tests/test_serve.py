@@ -715,3 +715,82 @@ class TestServeCli:
         finally:
             daemon.send_signal(signal.SIGINT)
             assert daemon.wait(timeout=30) == 0
+
+
+# ======================================================================
+# lifecycle unwinding on failed start/connect (regression: found by
+# `repro analyze`'s must-release pass)
+# ======================================================================
+class TestStartUnwind:
+    def test_failed_bind_uninstalls_sanitizer(self, tmp_path):
+        """A bind failure mid-start must unwind the process-global
+        sanitizer install, not strand it."""
+        import socket as socket_mod
+
+        from repro.sanitize import detector
+
+        blocker = socket_mod.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            config = ServeConfig(
+                host="127.0.0.1", port=port,
+                spool=tmp_path / "spool", sanitize=True,
+            )
+            srv = ReproServer(config)
+            with pytest.raises(OSError):
+                srv.start()
+            assert detector.active_sanitizer() is None
+            assert not detector.enabled()
+        finally:
+            blocker.close()
+
+    def test_failed_bind_leaves_server_reusable_config(self, tmp_path):
+        """After a failed start, a fresh server on a free port still
+        works — nothing global is left half-installed."""
+        import socket as socket_mod
+
+        blocker = socket_mod.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            bad = ServeConfig(host="127.0.0.1", port=port,
+                              spool=tmp_path / "bad", sanitize=True)
+            with pytest.raises(OSError):
+                ReproServer(bad).start()
+        finally:
+            blocker.close()
+        good = ServeConfig(port=0, spool=tmp_path / "good", sanitize=True)
+        with ReproServer(good) as srv:
+            with ServeClient(port=srv.port) as c:
+                assert c.call("ping")["ok"] is True
+
+
+class TestConnectUnwind:
+    def test_makefile_failure_closes_socket(self, monkeypatch):
+        """If makefile() fails mid-connect the raw socket must be closed,
+        not leaked (regression: found by `repro analyze`)."""
+        from repro.serve import client as client_mod
+
+        class FakeSock:
+            def __init__(self):
+                self.closed = False
+
+            def makefile(self, mode):
+                raise RuntimeError("makefile failed")
+
+            def close(self):
+                self.closed = True
+
+        fake = FakeSock()
+        monkeypatch.setattr(
+            client_mod.socket, "create_connection",
+            lambda *a, **k: fake,
+        )
+        c = ServeClient(port=1)
+        with pytest.raises(RuntimeError, match="makefile failed"):
+            c.connect()
+        assert fake.closed
+        assert c._sock is None
